@@ -1,0 +1,746 @@
+package demystbert
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index E1-E14). Two kinds of
+// benchmarks coexist:
+//
+//   - Model benchmarks (BenchmarkFig*, BenchmarkTable2b, ...) execute the
+//     analytical pipeline at BERT-Large scale and publish the modeled
+//     quantities the paper reports (shares, speedups, kernel counts) as
+//     custom benchmark metrics, so `go test -bench` output reads like the
+//     paper's evaluation section.
+//
+//   - Real benchmarks (BenchmarkReal*) execute the pure-Go engine —
+//     kernels, attention layers, LAMB, full training iterations — and
+//     measure actual wall-clock time, validating operator manifestation
+//     (E14) and the fusion result (E11) on real hardware.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"demystbert/internal/data"
+	"demystbert/internal/ddp"
+	"demystbert/internal/dist"
+	"demystbert/internal/fusion"
+	"demystbert/internal/kernels"
+	"demystbert/internal/model"
+	"demystbert/internal/nn"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/optim"
+	"demystbert/internal/perfmodel"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+// ---------------------------------------------------------------------------
+// E1: Table 2b — GEMM dimension enumeration.
+
+func BenchmarkTable2bGraphBuild(b *testing.B) {
+	w := Phase1(BERTLarge(), 32, FP32)
+	var g *Graph
+	for i := 0; i < b.N; i++ {
+		g = BuildGraph(w)
+	}
+	b.ReportMetric(float64(g.KernelCount()), "kernels")
+	b.ReportMetric(float64(len(g.GEMMs())), "gemm-ops")
+}
+
+// ---------------------------------------------------------------------------
+// E2: Fig. 3 — runtime breakdown per configuration.
+
+func benchFig3(b *testing.B, w Workload) {
+	dev := MI100()
+	var r *Result
+	for i := 0; i < b.N; i++ {
+		r = Characterize(w, dev)
+	}
+	b.ReportMetric(1e3*r.Total.Seconds(), "modeled-ms")
+	b.ReportMetric(100*r.ClassShare(opgraph.ClassTransformer), "transformer-%")
+	b.ReportMetric(100*r.LAMBShare(), "lamb-%")
+	b.ReportMetric(100*r.ClassShare(opgraph.ClassOutput), "output-%")
+}
+
+func BenchmarkFig3_Ph1B32FP32(b *testing.B) { benchFig3(b, Phase1(BERTLarge(), 32, FP32)) }
+func BenchmarkFig3_Ph1B4FP32(b *testing.B)  { benchFig3(b, Phase1(BERTLarge(), 4, FP32)) }
+func BenchmarkFig3_Ph2B4FP32(b *testing.B)  { benchFig3(b, Phase2(BERTLarge(), 4, FP32)) }
+func BenchmarkFig3_Ph1B32FP16(b *testing.B) { benchFig3(b, Phase1(BERTLarge(), 32, Mixed)) }
+func BenchmarkFig3_Ph2B4FP16(b *testing.B)  { benchFig3(b, Phase2(BERTLarge(), 4, Mixed)) }
+
+// ---------------------------------------------------------------------------
+// E3: Fig. 4 — hierarchical breakdown.
+
+func benchFig4(b *testing.B, p Precision) {
+	dev := MI100()
+	var r *Result
+	for i := 0; i < b.N; i++ {
+		r = Characterize(Phase1(BERTLarge(), 32, p), dev)
+	}
+	b.ReportMetric(100*r.CategoryShare(profile.CatLinear), "linear-%")
+	b.ReportMetric(100*r.CategoryShare(profile.CatFCGEMM), "fcgemm-%")
+	b.ReportMetric(100*r.AttentionOpsShare(), "attention-ops-%")
+	b.ReportMetric(100*r.LinearFCShare(), "linear+fc-%")
+}
+
+func BenchmarkFig4_FP32(b *testing.B) { benchFig4(b, FP32) }
+func BenchmarkFig4_MP(b *testing.B)   { benchFig4(b, Mixed) }
+
+// ---------------------------------------------------------------------------
+// E4: Fig. 6 — GEMM arithmetic intensities.
+
+func BenchmarkFig6GEMMIntensity(b *testing.B) {
+	w := Phase1(BERTLarge(), 32, FP32)
+	var fc, lin, score float64
+	for i := 0; i < b.N; i++ {
+		for _, op := range BuildGraph(w).GEMMs() {
+			switch op.Name {
+			case "fc1_fwd":
+				fc = op.Intensity()
+			case "linear_qkv_fwd":
+				lin = op.Intensity()
+			case "attn_score_bgemm":
+				score = op.Intensity()
+			}
+		}
+	}
+	b.ReportMetric(fc, "fc-ops/byte")
+	b.ReportMetric(lin, "linear-ops/byte")
+	b.ReportMetric(score, "attn-score-ops/byte")
+}
+
+// ---------------------------------------------------------------------------
+// E5: Fig. 7 — per-class intensity and bandwidth demand.
+
+func BenchmarkFig7Bandwidth(b *testing.B) {
+	dev := MI100()
+	var bwMap map[profile.Category]float64
+	for i := 0; i < b.N; i++ {
+		bwMap = Characterize(Phase1(BERTLarge(), 32, FP32), dev).CategoryBW()
+	}
+	var maxBW float64
+	for _, v := range bwMap {
+		if v > maxBW {
+			maxBW = v
+		}
+	}
+	b.ReportMetric(100*bwMap[profile.CatLAMBStage1]/maxBW, "lamb1-normBW-%")
+	b.ReportMetric(100*bwMap[profile.CatAttnBGEMM]/maxBW, "attnGEMM-normBW-%")
+	b.ReportMetric(100*bwMap[profile.CatFCGEMM]/maxBW, "fcGEMM-normBW-%")
+}
+
+// ---------------------------------------------------------------------------
+// E6: Fig. 8 — input-size sweep.
+
+func BenchmarkFig8InputSweep(b *testing.B) {
+	dev := MI100()
+	cfg := BERTLarge()
+	var lamb4, lamb32, attn128, attn512 float64
+	for i := 0; i < b.N; i++ {
+		lamb4 = Characterize(Phase1(cfg, 4, FP32), dev).LAMBShare()
+		lamb32 = Characterize(Phase1(cfg, 32, FP32), dev).LAMBShare()
+		attn128 = Characterize(Phase1(cfg, 16, FP32), dev).AttentionOpsShare()
+		attn512 = Characterize(Phase2(cfg, 4, FP32), dev).AttentionOpsShare()
+	}
+	b.ReportMetric(100*lamb4, "lamb-B4-%")
+	b.ReportMetric(100*lamb32, "lamb-B32-%")
+	b.ReportMetric(100*attn128, "attn-n128-%")
+	b.ReportMetric(100*attn512, "attn-n512-%")
+}
+
+// ---------------------------------------------------------------------------
+// E7: Fig. 9 — layer-size sweep.
+
+func BenchmarkFig9ModelSweep(b *testing.B) {
+	dev := MI100()
+	var shares [3]float64
+	for i := 0; i < b.N; i++ {
+		for j, d := range []int{512, 1024, 2048} {
+			cfg := BERTLarge()
+			cfg.DModel, cfg.DFF, cfg.Heads = d, 4*d, d/64
+			shares[j] = Characterize(Phase1(cfg, 4, FP32), dev).LAMBShare()
+		}
+	}
+	b.ReportMetric(100*shares[0], "lamb-C1-%")
+	b.ReportMetric(100*shares[1], "lamb-C2-%")
+	b.ReportMetric(100*shares[2], "lamb-C3-%")
+}
+
+// ---------------------------------------------------------------------------
+// E8: Section 4 — activation checkpointing.
+
+func BenchmarkCheckpointing(b *testing.B) {
+	dev := MI100()
+	var kinc, rinc float64
+	for i := 0; i < b.N; i++ {
+		base := Characterize(Phase1(BERTLarge(), 32, FP32), dev)
+		w := Phase1(BERTLarge(), 32, FP32)
+		w.CheckpointEvery = 6
+		ck := Characterize(w, dev)
+		kinc = 100 * (float64(ck.KernelCount())/float64(base.KernelCount()) - 1)
+		rinc = 100 * (float64(ck.Total)/float64(base.Total) - 1)
+	}
+	b.ReportMetric(kinc, "kernel-increase-%")
+	b.ReportMetric(rinc, "runtime-increase-%")
+}
+
+// ---------------------------------------------------------------------------
+// E9: Fig. 11 — multi-device profiles.
+
+func BenchmarkFig11Distributed(b *testing.B) {
+	dev := MI100()
+	var ps []DistProfile
+	for i := 0; i < b.N; i++ {
+		ps = Fig11Profiles(Phase1(BERTLarge(), 16, FP32), dev)
+	}
+	b.ReportMetric(100*ps[1].CommShare(), "D1-comm-%")
+	b.ReportMetric(100*ps[2].CommShare(), "D2-comm-%")
+	b.ReportMetric(100*ps[3].CommShare(), "T1-comm-%")
+	b.ReportMetric(100*ps[4].CommShare(), "T2-comm-%")
+}
+
+// ---------------------------------------------------------------------------
+// E10: Fig. 12a — kernel-fusion study (model).
+
+func BenchmarkFig12aLayerNormFusion(b *testing.B) {
+	dev := MI100()
+	var s fusion.Study
+	for i := 0; i < b.N; i++ {
+		s = fusion.TransformerLayerNormStudy(Phase1(BERTLarge(), 32, FP32), dev)
+	}
+	b.ReportMetric(s.KernelRatio(), "kernel-ratio")
+	b.ReportMetric(s.TrafficRatio(), "traffic-ratio")
+	b.ReportMetric(s.Speedup(), "speedup")
+}
+
+func BenchmarkFig12aAdamFusion(b *testing.B) {
+	dev := MI100()
+	var s fusion.Study
+	for i := 0; i < b.N; i++ {
+		s = fusion.ModelAdamStudy(Phase1(BERTLarge(), 32, FP32), 320, dev)
+	}
+	b.ReportMetric(s.KernelRatio(), "kernel-ratio")
+	b.ReportMetric(s.TrafficRatio(), "traffic-ratio")
+	b.ReportMetric(s.Speedup(), "speedup")
+}
+
+// ---------------------------------------------------------------------------
+// E11: Fig. 12b — QKV GEMM fusion: model plus REAL execution.
+
+func BenchmarkFig12bQKVFusionModel(b *testing.B) {
+	dev := MI100()
+	var small, large fusion.Study
+	for i := 0; i < b.N; i++ {
+		small = fusion.QKV(512, 1024, FP32, dev)
+		large = fusion.QKV(8192, 1024, FP32, dev)
+	}
+	b.ReportMetric(100*(small.Speedup()-1), "small-input-speedup-%")
+	b.ReportMetric(100*(large.Speedup()-1), "large-input-speedup-%")
+}
+
+// Real 3S-vs-3F execution at engine scale: three serial GEMMs against one
+// fused GEMM over the concatenated weights.
+func benchQKVReal(b *testing.B, fused bool, tokens, d int) {
+	r := tensor.NewRNG(1)
+	x := make([]float32, tokens*d)
+	wq := make([]float32, d*d)
+	wk := make([]float32, d*d)
+	wv := make([]float32, d*d)
+	wCat := make([]float32, 3*d*d)
+	for _, s := range [][]float32{x, wq, wk, wv} {
+		for i := range s {
+			s[i] = r.Float32() - 0.5
+		}
+	}
+	copy(wCat, wq)
+	copy(wCat[d*d:], wk)
+	copy(wCat[2*d*d:], wv)
+	out := make([]float32, tokens*3*d)
+	b.SetBytes(int64(4 * (tokens*d + 3*d*d + 3*tokens*d)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fused {
+			kernels.GEMM(false, true, tokens, 3*d, d, 1, x, wCat, 0, out)
+		} else {
+			kernels.GEMM(false, true, tokens, d, d, 1, x, wq, 0, out[:tokens*d])
+			kernels.GEMM(false, true, tokens, d, d, 1, x, wk, 0, out[tokens*d:2*tokens*d])
+			kernels.GEMM(false, true, tokens, d, d, 1, x, wv, 0, out[2*tokens*d:])
+		}
+	}
+}
+
+func BenchmarkFig12bRealQKVSerial(b *testing.B) { benchQKVReal(b, false, 256, 256) }
+func BenchmarkFig12bRealQKVFused(b *testing.B)  { benchQKVReal(b, true, 256, 256) }
+
+// ---------------------------------------------------------------------------
+// E12: Section 6.2.1 — near-memory compute.
+
+func BenchmarkNMC(b *testing.B) {
+	var sp, e2e float64
+	for i := 0; i < b.N; i++ {
+		st := NMCStudy(Phase1(BERTLarge(), 32, FP32))
+		sp = st.SpeedupVsOptimistic()
+		e2e = st.EndToEndImprovement()
+	}
+	b.ReportMetric(sp, "lamb-speedup-x")
+	b.ReportMetric(100*e2e, "end-to-end-%")
+}
+
+// ---------------------------------------------------------------------------
+// E13: takeaway evaluation throughput.
+
+func BenchmarkTakeawayEvaluation(b *testing.B) {
+	cfg := BERTLarge()
+	dev := MI100()
+	for i := 0; i < b.N; i++ {
+		if err := WriteArtifact(io.Discard, "takeaways", cfg, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E14 and engine benchmarks: real kernel and training execution.
+
+func BenchmarkRealIterationTiny(b *testing.B) {
+	cfg := TinyBERT()
+	m, err := model.New(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := data.NewGenerator(cfg.Vocab, 0.15, 2)
+	batch := gen.Next(4, 32)
+	ctx := &nn.Ctx{RNG: tensor.NewRNG(3), Train: true}
+	opt := optim.NewLAMB(0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(ctx, batch)
+		opt.Step(ctx, m.Params())
+		m.ZeroGrads()
+	}
+}
+
+// BenchmarkRealIterationBatchOne demonstrates Takeaway 5 in execution: a
+// B=1 iteration still runs matrix-matrix kernels, not GEMV.
+func BenchmarkRealIterationBatchOne(b *testing.B) {
+	cfg := TinyBERT()
+	m, err := model.New(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := data.NewGenerator(cfg.Vocab, 0.15, 2)
+	batch := gen.Next(1, 32)
+	prof := profile.New()
+	ctx := &nn.Ctx{Prof: prof, RNG: tensor.NewRNG(3), Train: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(ctx, batch)
+		m.ZeroGrads()
+	}
+	b.StopTimer()
+	sum := prof.Summarize()
+	b.ReportMetric(100*sum.GEMMShare(), "gemm-share-%")
+}
+
+func benchRealGEMM(b *testing.B, m, n, k int) {
+	r := tensor.NewRNG(1)
+	x := make([]float32, m*k)
+	y := make([]float32, k*n)
+	z := make([]float32, m*n)
+	for i := range x {
+		x[i] = r.Float32()
+	}
+	for i := range y {
+		y[i] = r.Float32()
+	}
+	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.GEMM(false, false, m, n, k, 1, x, y, 0, z)
+	}
+	b.ReportMetric(float64(2*m*n*k)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// Scaled-down Table 2b shapes (1/8 linear dimensions of BERT-Large Ph1-B32).
+func BenchmarkRealGEMMLinearShape(b *testing.B) { benchRealGEMM(b, 128, 512, 128) }
+func BenchmarkRealGEMMFCShape(b *testing.B)     { benchRealGEMM(b, 512, 512, 128) }
+
+func BenchmarkRealAttentionBGEMMShape(b *testing.B) {
+	// 64 batched 16x16x8 GEMMs — the skinny memory-bound manifestation.
+	const batch, n, dh = 64, 16, 8
+	r := tensor.NewRNG(1)
+	q := make([]float32, batch*n*dh)
+	k := make([]float32, batch*n*dh)
+	s := make([]float32, batch*n*n)
+	for i := range q {
+		q[i] = r.Float32()
+		k[i] = r.Float32()
+	}
+	b.SetBytes(int64(4 * (2*batch*n*dh + batch*n*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.BatchedGEMM(batch, false, true, n, n, dh, 1, q, n*dh, k, n*dh, 0, s, n*n)
+	}
+}
+
+func BenchmarkRealSoftmax(b *testing.B) {
+	const rows, n = 2048, 128
+	r := tensor.NewRNG(1)
+	x := make([]float32, rows*n)
+	y := make([]float32, rows*n)
+	for i := range x {
+		x[i] = r.Float32()
+	}
+	b.SetBytes(int64(8 * rows * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.Softmax(y, x, rows, n)
+	}
+}
+
+func BenchmarkRealLayerNorm(b *testing.B) {
+	const rows, n = 2048, 256
+	r := tensor.NewRNG(1)
+	x := make([]float32, rows*n)
+	y := make([]float32, rows*n)
+	gamma := make([]float32, n)
+	beta := make([]float32, n)
+	mean := make([]float32, rows)
+	invStd := make([]float32, rows)
+	for i := range x {
+		x[i] = r.Float32()
+	}
+	for i := range gamma {
+		gamma[i] = 1
+	}
+	b.SetBytes(int64(8 * rows * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.LayerNormForward(y, x, gamma, beta, mean, invStd, rows, n, 1e-5)
+	}
+}
+
+func BenchmarkRealGeLU(b *testing.B) {
+	const n = 1 << 19
+	r := tensor.NewRNG(1)
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		x[i] = r.Float32() - 0.5
+	}
+	b.SetBytes(8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.GeLUForward(y, x)
+	}
+}
+
+// Real LAMB update over a tiny model's parameter population (Takeaway 7's
+// memory-intensive pattern).
+func BenchmarkRealLAMBStep(b *testing.B) {
+	m, err := model.New(TinyBERT(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := m.Params()
+	r := tensor.NewRNG(2)
+	for _, p := range params {
+		p.Grad.FillUniform(r, -0.01, 0.01)
+	}
+	ctx := &nn.Ctx{RNG: tensor.NewRNG(3), Train: true}
+	opt := optim.NewLAMB(0.001)
+	var bytes int64
+	for _, p := range params {
+		bytes += int64(p.Size()) * optim.BytesPerParam
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(ctx, params)
+	}
+}
+
+// Fused vs unfused Adam, executed for real (Fig. 12a's runtime axis).
+func benchRealAdam(b *testing.B, fused bool) {
+	m, err := model.New(TinyBERT(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := m.Params()
+	r := tensor.NewRNG(2)
+	for _, p := range params {
+		p.Grad.FillUniform(r, -0.01, 0.01)
+	}
+	ctx := &nn.Ctx{RNG: tensor.NewRNG(3), Train: true}
+	opt := optim.NewAdam(0.001, fused)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(ctx, params)
+	}
+}
+
+func BenchmarkRealAdamFused(b *testing.B)   { benchRealAdam(b, true) }
+func BenchmarkRealAdamUnfused(b *testing.B) { benchRealAdam(b, false) }
+
+// Real DP AllReduce cost model evaluation speed (used inside Fig. 11).
+func BenchmarkDistModelEvaluation(b *testing.B) {
+	dev := MI100()
+	r := perfmodel.Run(opgraph.Build(Phase1(BERTLarge(), 16, FP32)), dev)
+	for i := 0; i < b.N; i++ {
+		dist.DataParallel("D2", r, 128, true)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations and extensions beyond the paper's headline experiments.
+
+// Fused attention-score pipeline at BERT-Large scale: how much of the
+// Scale+Mask+DR+SM share does the Section 6.1.1 fusion recover?
+func BenchmarkAblationFusedAttentionModel(b *testing.B) {
+	dev := MI100()
+	var base, fused *Result
+	for i := 0; i < b.N; i++ {
+		w := Phase1(BERTLarge(), 32, FP32)
+		base = Characterize(w, dev)
+		w.FusedAttention = true
+		fused = Characterize(w, dev)
+	}
+	b.ReportMetric(1e3*base.Total.Seconds(), "baseline-ms")
+	b.ReportMetric(1e3*fused.Total.Seconds(), "fused-ms")
+	b.ReportMetric(100*(float64(base.Total)/float64(fused.Total)-1), "iteration-speedup-%")
+}
+
+// Real fused vs unfused attention-score pipeline (engine ablation).
+func benchRealAttention(b *testing.B, fusedSoftmax bool) {
+	r := tensor.NewRNG(1)
+	a := nn.NewMultiHeadAttention("a", 128, 8, 0, r)
+	a.FusedSoftmax = fusedSoftmax
+	const batch, n = 4, 64
+	x := tensor.New(batch*n, 128)
+	x.FillUniform(r, -1, 1)
+	ctx := &nn.Ctx{RNG: tensor.NewRNG(2), Train: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Forward(ctx, x, batch, n, nil)
+	}
+}
+
+func BenchmarkRealAttentionUnfusedSoftmax(b *testing.B) { benchRealAttention(b, false) }
+func BenchmarkRealAttentionFusedSoftmax(b *testing.B)   { benchRealAttention(b, true) }
+
+// Decoder (causal) vs encoder training cost — Section 2.3's claim that
+// masking does not affect training cost structure.
+func BenchmarkRealCausalVsEncoder(b *testing.B) {
+	for _, causal := range []bool{false, true} {
+		name := "encoder"
+		if causal {
+			name = "decoder-causal"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := TinyBERT()
+			cfg.Causal = causal
+			m, err := model.New(cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := data.NewGenerator(cfg.Vocab, 0.15, 2).Next(4, 32)
+			ctx := &nn.Ctx{RNG: tensor.NewRNG(3), Train: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step(ctx, batch)
+				m.ZeroGrads()
+			}
+		})
+	}
+}
+
+// Run-mode comparison (Section 7): pre-training vs fine-tuning vs
+// inference modeled iteration times.
+func BenchmarkModesComparison(b *testing.B) {
+	dev := MI100()
+	times := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []RunMode{Pretraining, FineTuning, Inference} {
+			w := Phase1(BERTLarge(), 32, FP32)
+			w.Mode = mode
+			if mode == Inference {
+				w.Optimizer = opgraph.OptNone
+			}
+			times[mode.String()] = Characterize(w, dev).Total.Seconds()
+		}
+	}
+	b.ReportMetric(1e3*times["pretrain"], "pretrain-ms")
+	b.ReportMetric(1e3*times["finetune"], "finetune-ms")
+	b.ReportMetric(1e3*times["inference"], "inference-ms")
+}
+
+// ZeRO and in-network processing extensions (Sections 5.2 and 6.2.3).
+func BenchmarkZeROExtension(b *testing.B) {
+	dev := MI100()
+	r := perfmodel.Run(opgraph.Build(Phase1(BERTLarge(), 16, FP32)), dev)
+	var z, d1 dist.Profile
+	for i := 0; i < b.N; i++ {
+		z = dist.ZeRO("ZeRO-128", r, 128, dev)
+		d1 = dist.DataParallel("D1", r, 128, false)
+	}
+	b.ReportMetric(100*z.UpdateShare(), "zero-update-%")
+	b.ReportMetric(100*dist.SingleGPU("s", r).Share(opgraph.ClassLAMB), "baseline-update-%")
+	b.ReportMetric(100*z.CommShare(), "zero-comm-%")
+	b.ReportMetric(100*d1.CommShare(), "dp-comm-%")
+}
+
+func BenchmarkInNetworkAllReduce(b *testing.B) {
+	dev := MI100()
+	w := Phase1(BERTLarge(), 64, FP32)
+	var ring, innet dist.Profile
+	for i := 0; i < b.N; i++ {
+		ring = dist.TensorSlicing("T2", w, 8, dev)
+		innet = dist.TensorSlicingInNetwork("T2-innet", w, 8, dev)
+	}
+	b.ReportMetric(100*ring.CommShare(), "ring-comm-%")
+	b.ReportMetric(100*innet.CommShare(), "innetwork-comm-%")
+}
+
+// Model checkpoint serialization throughput.
+func BenchmarkModelSaveLoad(b *testing.B) {
+	m, err := model.New(TinyBERT(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := m.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := model.Load(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Engine parallel-scaling ablation: GEMM throughput vs worker count.
+func BenchmarkAblationGEMMWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			old := kernels.SetMaxWorkers(workers)
+			defer kernels.SetMaxWorkers(old)
+			benchRealGEMM(b, 256, 256, 256)
+		})
+	}
+}
+
+// Real data-parallel training: D replicas + actual ring AllReduce.
+func BenchmarkRealDDPStep(b *testing.B) {
+	cfg := TinyBERT()
+	tr, err := ddp.NewTrainer(cfg, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := data.NewGenerator(cfg.Vocab, 0.15, 2)
+	shards := []*data.Batch{gen.Next(2, 16), gen.Next(2, 16)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.CommBytesPerStep())/1e6, "comm-MB/replica")
+}
+
+func BenchmarkRealRingAllReduce(b *testing.B) {
+	const d, n = 4, 1 << 18
+	r := tensor.NewRNG(1)
+	buffers := make([][]float32, d)
+	for i := range buffers {
+		buffers[i] = make([]float32, n)
+		for j := range buffers[i] {
+			buffers[i][j] = r.Float32()
+		}
+	}
+	b.SetBytes(int64(d) * ddp.BytesMoved(n, d))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RingBuffersReset(buffers, r)
+		ddp.RingAllReduce(buffers)
+	}
+}
+
+// RingBuffersReset refreshes buffers between iterations so the reduce
+// operates on fresh values.
+func RingBuffersReset(buffers [][]float32, r *tensor.RNG) {
+	for i := range buffers {
+		for j := range buffers[i] {
+			buffers[i][j] = r.Float32()
+		}
+	}
+}
+
+// Activation-memory footprint model (Section 4's capacity motivation).
+func BenchmarkMemoryFootprint(b *testing.B) {
+	var plain, ck int64
+	var maxB, maxBCk int
+	for i := 0; i < b.N; i++ {
+		w := Phase1(BERTLarge(), 32, FP32)
+		plain = opgraph.Footprint(w).Total()
+		maxB = opgraph.MaxBatchSize(Phase1(BERTLarge(), 1, FP32), 32e9)
+		w.CheckpointEvery = 6
+		ck = opgraph.Footprint(w).Total()
+		wc := Phase1(BERTLarge(), 1, FP32)
+		wc.CheckpointEvery = 6
+		maxBCk = opgraph.MaxBatchSize(wc, 32e9)
+	}
+	b.ReportMetric(float64(plain)/1e9, "plain-GB")
+	b.ReportMetric(float64(ck)/1e9, "checkpointed-GB")
+	b.ReportMetric(float64(maxB), "maxB-32GB")
+	b.ReportMetric(float64(maxBCk), "maxB-32GB-ckpt")
+}
+
+// Real m-way tensor-sliced encoder layer vs the unsliced reference.
+func BenchmarkRealTensorSlicedLayer(b *testing.B) {
+	r := tensor.NewRNG(1)
+	ref := nn.NewEncoderLayer("ref", 64, 4, 256, 0, r)
+	for _, m := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ways=%d", m), func(b *testing.B) {
+			s, err := ddp.NewSlicedLayer(ref, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := tensor.New(4*32, 64)
+			x.FillUniform(r, -1, 1)
+			ctx := &nn.Ctx{RNG: tensor.NewRNG(2), Train: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Forward(ctx, x, 4, 32)
+			}
+		})
+	}
+}
+
+// Optimizer-choice ablation: LAMB vs fused Adam vs SGD update phases.
+func BenchmarkAblationOptimizerChoice(b *testing.B) {
+	dev := MI100()
+	times := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for name, k := range map[string]opgraph.OptimizerKind{
+			"lamb": opgraph.OptLAMB, "adam": opgraph.OptAdam, "sgd": opgraph.OptSGD,
+		} {
+			w := Phase1(BERTLarge(), 32, FP32)
+			w.Optimizer = k
+			r := Characterize(w, dev)
+			times[name] = 1e3 * r.ByClass()[opgraph.ClassLAMB].Seconds()
+		}
+	}
+	b.ReportMetric(times["lamb"], "lamb-update-ms")
+	b.ReportMetric(times["adam"], "adam-update-ms")
+	b.ReportMetric(times["sgd"], "sgd-update-ms")
+}

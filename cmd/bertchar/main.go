@@ -1,0 +1,105 @@
+// Command bertchar regenerates the paper's single-device characterization
+// artifacts — Table 2b and Figures 3, 4, 6, 7, 8, 9, 12a, 12b, the
+// checkpointing study, the NMC study, the Section 7 run-mode comparison,
+// and the Table 1 takeaway checks — from the calibrated analytical model.
+//
+// Usage:
+//
+//	bertchar [-artifact all|table2b|fig3|...|takeaways]
+//	         [-model large|base|megatron|gpt]
+//	         [-compute X] [-bandwidth X]
+//	bertchar -export json|csv [-phase 1|2] [-b N] [-mp]
+//
+// The -compute and -bandwidth flags scale the device model to project
+// hypothetical accelerator improvements (Section 5.1); -export emits one
+// workload's machine-readable breakdown for plotting pipelines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"demystbert"
+	"demystbert/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bertchar", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	artifact := fs.String("artifact", "all", "artifact to render, or 'all'")
+	modelName := fs.String("model", "large", "model config: large, base, megatron, or gpt")
+	computeX := fs.Float64("compute", 1, "scale device compute throughput")
+	bwX := fs.Float64("bandwidth", 1, "scale device memory bandwidth")
+	export := fs.String("export", "", "export one workload's breakdown as 'json' or 'csv' instead of rendering artifacts")
+	phase := fs.Int("phase", 1, "pre-training phase for -export (1: n=128, 2: n=512)")
+	batch := fs.Int("b", 32, "mini-batch size for -export")
+	mp := fs.Bool("mp", false, "mixed precision for -export")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cfg demystbert.Config
+	switch *modelName {
+	case "large":
+		cfg = demystbert.BERTLarge()
+	case "base":
+		cfg = demystbert.BERTBase()
+	case "megatron":
+		cfg = demystbert.MegatronBERT()
+	case "gpt":
+		cfg = demystbert.GPTMedium()
+	default:
+		fmt.Fprintf(stderr, "bertchar: unknown model %q\n", *modelName)
+		return 2
+	}
+
+	dev := demystbert.MI100()
+	if *computeX != 1 || *bwX != 1 {
+		dev = dev.Scale(*computeX, *bwX, 1)
+		fmt.Fprintf(stdout, "device: %s (compute x%.2f, bandwidth x%.2f)\n", dev.Name, *computeX, *bwX)
+	}
+
+	if *export != "" {
+		prec := demystbert.FP32
+		if *mp {
+			prec = demystbert.Mixed
+		}
+		w := demystbert.Phase1(cfg, *batch, prec)
+		if *phase == 2 {
+			w = demystbert.Phase2(cfg, *batch, prec)
+		}
+		r := demystbert.Characterize(w, dev)
+		var err error
+		switch *export {
+		case "json":
+			err = report.WriteJSON(stdout, r)
+		case "csv":
+			err = report.WriteCSV(stdout, r)
+		default:
+			err = fmt.Errorf("unknown export format %q (json|csv)", *export)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "bertchar: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	artifacts := demystbert.Artifacts()
+	if *artifact != "all" {
+		artifacts = []string{*artifact}
+	}
+	for _, a := range artifacts {
+		if err := demystbert.WriteArtifact(stdout, a, cfg, dev); err != nil {
+			fmt.Fprintf(stderr, "bertchar: %v\n", err)
+			return 2
+		}
+	}
+	return 0
+}

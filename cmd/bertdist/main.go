@@ -1,0 +1,93 @@
+// Command bertdist renders Figure 11's multi-device iteration breakdowns
+// and supports custom data-parallel (including ZeRO-style) and
+// tensor-slicing (including in-network AllReduce) configurations, plus
+// hypothetical interconnect improvements (Sections 5, 6.2.3).
+//
+// Usage:
+//
+//	bertdist                       # the paper's five Fig. 11 bars
+//	bertdist -dp 64 -b 32          # custom data-parallel profile
+//	bertdist -dp 128 -zero         # ZeRO-style reduced-gradient DP
+//	bertdist -ts 4 -b 32           # custom tensor-slicing profile
+//	bertdist -ts 8 -in-network     # switch-resident AllReduce
+//	bertdist -link 4               # 4x faster interconnect projection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"demystbert"
+	"demystbert/internal/dist"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/perfmodel"
+	"demystbert/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bertdist", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dp := fs.Int("dp", 0, "model D-way data parallelism (0 = off)")
+	ts := fs.Int("ts", 0, "model m-way tensor slicing (0 = off)")
+	b := fs.Int("b", 16, "per-device mini-batch size")
+	mp := fs.Bool("mp", false, "mixed precision")
+	linkX := fs.Float64("link", 1, "scale interconnect bandwidth")
+	noOverlap := fs.Bool("no-overlap", false, "disable DP compute/comm overlap")
+	zero := fs.Bool("zero", false, "with -dp: model ZeRO-style reduced-gradient DP")
+	inNetwork := fs.Bool("in-network", false, "with -ts: model in-network AllReduce (Section 6.2.3)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := demystbert.BERTLarge()
+	dev := demystbert.MI100().Scale(1, 1, *linkX)
+	prec := demystbert.FP32
+	if *mp {
+		prec = demystbert.Mixed
+	}
+	w := demystbert.Phase1(cfg, *b, prec)
+
+	if *dp == 0 && *ts == 0 {
+		report.Fig11(stdout, cfg, dev)
+		return 0
+	}
+
+	print := func(p dist.Profile) {
+		fmt.Fprintf(stdout, "%s (devices=%d): total %v\n", p.Name, p.Devices, p.Total.Round(time.Millisecond))
+		for _, c := range []opgraph.LayerClass{
+			opgraph.ClassTransformer, opgraph.ClassOutput,
+			opgraph.ClassEmbedding, opgraph.ClassLAMB,
+		} {
+			fmt.Fprintf(stdout, "  %-14s %6.1f%%\n", c, 100*p.Share(c))
+		}
+		fmt.Fprintf(stdout, "  %-14s %6.1f%%", "Comm", 100*p.CommShare())
+		if p.HiddenComm > 0 {
+			fmt.Fprintf(stdout, " (+%v overlapped)", p.HiddenComm.Round(time.Millisecond))
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	if *dp > 0 {
+		r := perfmodel.Run(opgraph.Build(w), dev)
+		if *zero {
+			print(dist.ZeRO(fmt.Sprintf("ZeRO-%d B=%d", *dp, *b), r, *dp, dev))
+		} else {
+			print(dist.DataParallel(fmt.Sprintf("DP-%d B=%d", *dp, *b), r, *dp, !*noOverlap))
+		}
+	}
+	if *ts > 0 {
+		if *inNetwork {
+			print(dist.TensorSlicingInNetwork(fmt.Sprintf("TS-%d-way B=%d (in-network)", *ts, *b), w, *ts, dev))
+		} else {
+			print(dist.TensorSlicing(fmt.Sprintf("TS-%d-way B=%d", *ts, *b), w, *ts, dev))
+		}
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+// Command bertprof runs real BERT iterations on the pure-Go engine and
+// prints a rocProf-style kernel profile: per-category kernel counts,
+// wall-clock time, FLOPs, bytes, arithmetic intensity, and runtime shares
+// — the reduced-scale counterpart of the paper's Section 3 measurements.
+//
+// Usage:
+//
+//	bertprof [-layers N] [-dmodel D] [-heads H] [-dff F] [-vocab V]
+//	         [-b B] [-n SEQ] [-iters I] [-mp] [-checkpoint K]
+//	         [-causal] [-fused-attention] [-mode pretrain|finetune]
+//	         [-trace FILE] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"demystbert/internal/data"
+	"demystbert/internal/model"
+	"demystbert/internal/nn"
+	"demystbert/internal/optim"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bertprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	layers := fs.Int("layers", 2, "Transformer layer count (N)")
+	dmodel := fs.Int("dmodel", 64, "hidden dimension (d_model)")
+	heads := fs.Int("heads", 4, "attention heads (h)")
+	dff := fs.Int("dff", 256, "intermediate dimension (d_ff)")
+	vocab := fs.Int("vocab", 1000, "vocabulary size")
+	b := fs.Int("b", 4, "mini-batch size (B)")
+	n := fs.Int("n", 32, "sequence length (n)")
+	iters := fs.Int("iters", 2, "training iterations to profile")
+	mp := fs.Bool("mp", false, "mixed precision: FP16 activation storage + loss scaling")
+	checkpoint := fs.Int("checkpoint", 0, "activation checkpointing segment length (0 = off)")
+	causal := fs.Bool("causal", false, "decoder-style (causal) attention")
+	fused := fs.Bool("fused-attention", false, "fuse the scale/mask/softmax kernels")
+	mode := fs.String("mode", "pretrain", "pretrain or finetune")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the kernel timeline to this path")
+	seed := fs.Uint64("seed", 42, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := model.Config{
+		Vocab:          *vocab,
+		MaxPos:         *n,
+		NumLayers:      *layers,
+		DModel:         *dmodel,
+		Heads:          *heads,
+		DFF:            *dff,
+		DropProb:       0.1,
+		Causal:         *causal,
+		FusedAttention: *fused,
+	}
+	m, err := model.New(cfg, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "bertprof: %v\n", err)
+		return 2
+	}
+	m.CheckpointEvery = *checkpoint
+
+	fmt.Fprintf(stdout, "BERT N=%d d_model=%d h=%d d_ff=%d vocab=%d: %d parameters\n",
+		cfg.NumLayers, cfg.DModel, cfg.Heads, cfg.DFF, cfg.Vocab, m.NumParams())
+	fmt.Fprintf(stdout, "workload: B=%d n=%d (%d tokens/iteration), mixed-precision=%v, checkpoint=%d, causal=%v\n\n",
+		*b, *n, *b**n, *mp, *checkpoint, *causal)
+
+	gen := data.NewGenerator(cfg.Vocab, 0.15, *seed+1)
+	ctx := &nn.Ctx{Prof: profile.New(), RNG: tensor.NewRNG(*seed + 2), Train: true, MixedPrecision: *mp}
+	opt := optim.NewLAMB(0.01)
+	scaler := optim.NewDynamicLossScaler()
+
+	step := func(stepFn func() float64, params []*nn.Param, zero func()) float64 {
+		if *mp {
+			scaler.Arm(ctx)
+		}
+		loss := stepFn()
+		if *mp {
+			if scaler.UnscaleAndCheck(params) {
+				opt.Step(ctx, params)
+			}
+		} else {
+			opt.Step(ctx, params)
+		}
+		zero()
+		return loss
+	}
+
+	switch *mode {
+	case "pretrain":
+		// Warm-up iteration, as the paper does before profiling.
+		warm := gen.Next(*b, *n)
+		step(func() float64 { return m.Step(ctx, warm) }, m.Params(), m.ZeroGrads)
+		ctx.Prof.Reset()
+
+		for i := 0; i < *iters; i++ {
+			batch := gen.Next(*b, *n)
+			loss := step(func() float64 { return m.Step(ctx, batch) }, m.Params(), m.ZeroGrads)
+			fmt.Fprintf(stdout, "iteration %d: loss %.4f (%d masked tokens)\n", i+1, loss, batch.MaskedCount())
+		}
+	case "finetune":
+		f := model.NewFineTuner(m, *seed+3)
+		warm := gen.NextQA(*b, *n)
+		step(func() float64 { return f.Step(ctx, warm) }, f.Params(), f.ZeroGrads)
+		ctx.Prof.Reset()
+
+		for i := 0; i < *iters; i++ {
+			batch := gen.NextQA(*b, *n)
+			loss := step(func() float64 { return f.Step(ctx, batch) }, f.Params(), f.ZeroGrads)
+			fmt.Fprintf(stdout, "iteration %d: span loss %.4f\n", i+1, loss)
+		}
+	default:
+		fmt.Fprintf(stderr, "bertprof: unknown mode %q (pretrain|finetune)\n", *mode)
+		return 2
+	}
+
+	fmt.Fprintln(stdout)
+	sum := ctx.Prof.Summarize()
+	sum.WriteReport(stdout, fmt.Sprintf("kernel profile (%d iterations)", *iters))
+	fmt.Fprintf(stdout, "\nGEMM share of wall time: %.1f%%\n", 100*sum.GEMMShare())
+	if *mp && scaler.Skipped > 0 {
+		fmt.Fprintf(stdout, "loss scaler skipped %d step(s); scale now %.0f\n", scaler.Skipped, scaler.Scale)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "bertprof: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := ctx.Prof.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(stderr, "bertprof: writing trace: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "Chrome trace written to %s (open in chrome://tracing or Perfetto)\n", *tracePath)
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	if code != 0 {
+		t.Logf("stderr: %s", errOut.String())
+	}
+	return out.String(), code
+}
+
+func TestPretrainProfile(t *testing.T) {
+	out, code := runCmd(t, "-iters", "1")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, want := range []string{"parameters", "iteration 1: loss", "kernel profile", "GEMM share", "LAMBStage1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q", want)
+		}
+	}
+}
+
+func TestFinetuneProfile(t *testing.T) {
+	out, code := runCmd(t, "-mode", "finetune", "-iters", "1")
+	if code != 0 || !strings.Contains(out, "span loss") {
+		t.Fatalf("finetune profile failed: code %d", code)
+	}
+}
+
+func TestMixedPrecisionProfile(t *testing.T) {
+	out, code := runCmd(t, "-mp", "-iters", "1")
+	if code != 0 || !strings.Contains(out, "mixed-precision=true") {
+		t.Fatalf("MP profile failed: code %d", code)
+	}
+}
+
+func TestCausalFusedProfile(t *testing.T) {
+	out, code := runCmd(t, "-causal", "-fused-attention", "-iters", "1")
+	if code != 0 || !strings.Contains(out, "causal=true") {
+		t.Fatalf("causal profile failed: code %d", code)
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	_, code := runCmd(t, "-iters", "1", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(events) < 50 {
+		t.Fatalf("trace has only %d events", len(events))
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, code := runCmd(t, "-dmodel", "7", "-heads", "2"); code == 0 {
+		t.Fatal("indivisible d_model must fail")
+	}
+}
+
+func TestBadMode(t *testing.T) {
+	if _, code := runCmd(t, "-mode", "predict"); code == 0 {
+		t.Fatal("unknown mode must fail")
+	}
+}

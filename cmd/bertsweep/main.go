@@ -1,0 +1,109 @@
+// Command bertsweep runs the hyperparameter sweeps of Section 3.3:
+// the input-size sweep (Fig. 8) and the layer-size sweep (Fig. 9), plus a
+// free-form sweep over any single hyperparameter.
+//
+// Usage:
+//
+//	bertsweep -sweep input               # Fig. 8
+//	bertsweep -sweep model               # Fig. 9
+//	bertsweep -sweep layers -values 12,24,48
+//	bertsweep -sweep batch  -values 2,4,8,16,32,64
+//	bertsweep -sweep seqlen -values 64,128,256,512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"demystbert"
+	"demystbert/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bertsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sweep := fs.String("sweep", "input", "sweep: input, model, layers, batch, seqlen")
+	values := fs.String("values", "", "comma-separated values for layers/batch/seqlen sweeps")
+	mp := fs.Bool("mp", false, "mixed precision")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	dev := demystbert.MI100()
+	prec := demystbert.FP32
+	if *mp {
+		prec = demystbert.Mixed
+	}
+
+	switch *sweep {
+	case "input":
+		report.Fig8(stdout, demystbert.BERTLarge(), dev)
+	case "model":
+		report.Fig9(stdout, dev)
+	case "layers", "batch", "seqlen":
+		vals, err := parseValues(*values, defaults(*sweep))
+		if err != nil {
+			fmt.Fprintf(stderr, "bertsweep: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%-8s %10s %10s %8s %8s %8s %8s\n",
+			*sweep, "iteration", "tokens/s", "GEMM%", "LAMB%", "Attn%", "Lin+FC%")
+		for _, v := range vals {
+			cfg := demystbert.BERTLarge()
+			w := demystbert.Phase1(cfg, 16, prec)
+			switch *sweep {
+			case "layers":
+				cfg.NumLayers = v
+				w.Cfg = cfg
+			case "batch":
+				w.B = v
+			case "seqlen":
+				w.SeqLen = v
+			}
+			r := demystbert.Characterize(w, dev)
+			fmt.Fprintf(stdout, "%-8d %10v %9.0fk %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+				v, r.Total.Round(time.Millisecond), r.TokensPerSecond()/1e3,
+				100*r.GEMMShare(), 100*r.LAMBShare(),
+				100*r.AttentionOpsShare(), 100*r.LinearFCShare())
+		}
+	default:
+		fmt.Fprintf(stderr, "bertsweep: unknown sweep %q\n", *sweep)
+		return 2
+	}
+	return 0
+}
+
+func defaults(sweep string) []int {
+	switch sweep {
+	case "layers":
+		return []int{6, 12, 24, 48}
+	case "batch":
+		return []int{2, 4, 8, 16, 32, 64}
+	default:
+		return []int{64, 128, 256, 512}
+	}
+}
+
+func parseValues(s string, def []int) ([]int, error) {
+	if s == "" {
+		return def, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return out.String(), code
+}
+
+func TestInputSweep(t *testing.T) {
+	out, code := runCmd(t, "-sweep", "input")
+	if code != 0 || !strings.Contains(out, "Figure 8") {
+		t.Fatalf("input sweep failed (code %d)", code)
+	}
+}
+
+func TestModelSweep(t *testing.T) {
+	out, code := runCmd(t, "-sweep", "model")
+	if code != 0 || !strings.Contains(out, "C3 (Megatron-like)") {
+		t.Fatalf("model sweep failed (code %d)", code)
+	}
+}
+
+func TestCustomBatchSweep(t *testing.T) {
+	out, code := runCmd(t, "-sweep", "batch", "-values", "4,8")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "tokens/s") || !strings.Contains(out, "LAMB%") {
+		t.Fatalf("sweep table malformed:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 { // header + 2 rows
+		t.Fatalf("expected 3 lines, got %d:\n%s", lines, out)
+	}
+}
+
+func TestLayersSweepDefaults(t *testing.T) {
+	out, code := runCmd(t, "-sweep", "layers")
+	if code != 0 || strings.Count(out, "\n") != 5 {
+		t.Fatalf("layers sweep: code %d output:\n%s", code, out)
+	}
+}
+
+func TestSeqlenSweepMixedPrecision(t *testing.T) {
+	out, code := runCmd(t, "-sweep", "seqlen", "-values", "128,512", "-mp")
+	if code != 0 || strings.Count(out, "\n") != 3 {
+		t.Fatalf("seqlen sweep failed: code %d\n%s", code, out)
+	}
+}
+
+func TestBadSweep(t *testing.T) {
+	if _, code := runCmd(t, "-sweep", "nonsense"); code == 0 {
+		t.Fatal("bad sweep must fail")
+	}
+}
+
+func TestBadValues(t *testing.T) {
+	if _, code := runCmd(t, "-sweep", "batch", "-values", "4,x"); code == 0 {
+		t.Fatal("bad values must fail")
+	}
+	if _, code := runCmd(t, "-sweep", "batch", "-values", "-3"); code == 0 {
+		t.Fatal("negative values must fail")
+	}
+}

@@ -1,0 +1,278 @@
+// Package demystbert reproduces "Demystifying BERT: System Design
+// Implications" (Pati, Aga, Jayasena, Sinclair — IISWC 2022) in pure Go.
+//
+// The library has two coupled substrates (see DESIGN.md):
+//
+//   - a real execution engine — tensors, parallel GEMM kernels, a full
+//     BERT pre-training network with hand-written backprop, the LAMB
+//     optimizer, and a rocProf-style kernel profiler — which trains
+//     reduced-scale BERT configurations for real;
+//
+//   - an analytical model — an architecture-agnostic operator graph with
+//     the paper's exact Table 2b GEMM dimensions, timed on a calibrated
+//     roofline of an MI100-class accelerator — which regenerates every
+//     table and figure of the paper's evaluation at BERT-Large scale,
+//     including mixed precision, activation checkpointing, distributed
+//     data-parallel and tensor-sliced training, kernel/GEMM fusion, and
+//     near-memory compute.
+//
+// This package is the public facade: it re-exports the configuration,
+// workload, device, and result types and provides one-call entry points
+// for characterization, real training, and artifact regeneration.
+package demystbert
+
+import (
+	"fmt"
+	"io"
+
+	"demystbert/internal/data"
+	"demystbert/internal/device"
+	"demystbert/internal/dist"
+	"demystbert/internal/model"
+	"demystbert/internal/nmc"
+	"demystbert/internal/nn"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/optim"
+	"demystbert/internal/perfmodel"
+	"demystbert/internal/profile"
+	"demystbert/internal/report"
+)
+
+// Re-exported core types. Aliases keep the full method sets available
+// without exposing internal import paths.
+type (
+	// Config holds BERT hyperparameters (Table 2a).
+	Config = model.Config
+	// Workload is one experimental configuration (phase, B, precision,
+	// checkpointing, tensor slicing).
+	Workload = opgraph.Workload
+	// Precision selects FP32 or mixed-precision training.
+	Precision = opgraph.Precision
+	// Device is the calibrated roofline accelerator model.
+	Device = device.Device
+	// Result is a timed iteration with the paper's breakdowns.
+	Result = perfmodel.Result
+	// Graph is the operator graph of one training iteration.
+	Graph = opgraph.Graph
+	// DistProfile is one per-device bar of Fig. 11.
+	DistProfile = dist.Profile
+	// Batch is a synthetic pre-training mini-batch.
+	Batch = data.Batch
+	// BERT is the real-execution pre-training network.
+	BERT = model.BERT
+	// FineTuner adapts a pre-trained BERT to a SQuAD-style span task.
+	FineTuner = model.FineTuner
+	// QABatch is a synthetic extractive-QA fine-tuning batch.
+	QABatch = data.QABatch
+	// TrainCtx carries profiler/RNG/precision state through real runs.
+	TrainCtx = nn.Ctx
+	// RunMode selects pre-training, fine-tuning, or inference graphs.
+	RunMode = opgraph.RunMode
+)
+
+// Precisions.
+const (
+	FP32  = opgraph.FP32
+	Mixed = opgraph.Mixed
+)
+
+// Run modes (Section 7).
+const (
+	Pretraining = opgraph.Pretraining
+	FineTuning  = opgraph.FineTuning
+	Inference   = opgraph.Inference
+)
+
+// Model configurations.
+var (
+	// BERTLarge is the paper's primary subject (24 layers, d_model 1024,
+	// ~340M parameters).
+	BERTLarge = model.BERTLarge
+	// BERTBase is the 12-layer, 110M-parameter configuration.
+	BERTBase = model.BERTBase
+	// MegatronBERT approximates the paper's C3 (2× d_model).
+	MegatronBERT = model.MegatronBERT
+	// GPTMedium approximates a GPT-2-Medium-class causal decoder
+	// (Section 2.3: training cost structure matches the encoder).
+	GPTMedium = model.GPTMedium
+	// TinyBERT is a reduced-scale configuration the pure-Go engine can
+	// train quickly.
+	TinyBERT = model.Tiny
+)
+
+// Real-engine model lifecycle.
+var (
+	// NewModel constructs a real-execution BERT.
+	NewModel = model.New
+	// LoadModel reads a checkpoint written with (*BERT).Save.
+	LoadModel = model.Load
+	// NewFineTunerFor wraps a (pre-trained) model with a span task head.
+	NewFineTunerFor = model.NewFineTuner
+)
+
+// Workload constructors.
+var (
+	// Phase1 is pre-training Phase-1 (n=128).
+	Phase1 = opgraph.Phase1
+	// Phase2 is pre-training Phase-2 (n=512).
+	Phase2 = opgraph.Phase2
+)
+
+// MI100 returns the calibrated model of the paper's measurement platform.
+var MI100 = device.MI100
+
+// Characterize builds the workload's operator graph and times it on the
+// device, returning the paper's breakdowns (Figs. 3, 4, 6, 7).
+func Characterize(w Workload, dev Device) *Result {
+	return perfmodel.Run(opgraph.Build(w), dev)
+}
+
+// BuildGraph returns the architecture-agnostic operator graph of one
+// training iteration (Table 2b manifestations included).
+func BuildGraph(w Workload) *Graph {
+	return opgraph.Build(w)
+}
+
+// Fig11Profiles returns the five distributed-training bars of Fig. 11.
+func Fig11Profiles(w Workload, dev Device) []DistProfile {
+	return dist.Fig11(w, dev)
+}
+
+// RealRun is the outcome of really executing BERT pre-training iterations
+// on the pure-Go engine.
+type RealRun struct {
+	// Losses holds the per-iteration training loss.
+	Losses []float64
+	// Profile aggregates every executed kernel by category and phase.
+	Profile profile.Summary
+	// Params is the model's trainable-parameter count.
+	Params int
+}
+
+// TrainReal constructs a BERT model of the given configuration and runs
+// `iters` real pre-training iterations (forward, backward, LAMB update)
+// on synthetic data, profiling every kernel. Use TinyBERT-scale
+// configurations: the engine is a CPU reference implementation, not a
+// GPU.
+func TrainReal(cfg Config, b, n, iters int, seed uint64) (*RealRun, error) {
+	m, err := model.New(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	gen := data.NewGenerator(cfg.Vocab, 0.15, seed+1)
+	ctx := nn.NewCtx(seed + 2)
+	opt := optim.NewLAMB(0.01)
+
+	run := &RealRun{Params: m.NumParams()}
+	for i := 0; i < iters; i++ {
+		batch := gen.Next(b, n)
+		loss := m.Step(ctx, batch)
+		opt.Step(ctx, m.Params())
+		m.ZeroGrads()
+		run.Losses = append(run.Losses, loss)
+	}
+	run.Profile = ctx.Prof.Summarize()
+	return run, nil
+}
+
+// MemorizeReal trains on one fixed synthetic batch for `iters`
+// iterations — the standard smoke test that the full gradient path works:
+// the loss must fall as the model memorizes the batch. Dropout is
+// disabled for deterministic descent.
+func MemorizeReal(cfg Config, b, n, iters int, seed uint64) (*RealRun, error) {
+	cfg.DropProb = 0
+	m, err := model.New(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	batch := data.NewGenerator(cfg.Vocab, 0.15, seed+1).Next(b, n)
+	ctx := nn.NewCtx(seed + 2)
+	opt := optim.NewLAMB(0.01)
+
+	run := &RealRun{Params: m.NumParams()}
+	for i := 0; i < iters; i++ {
+		loss := m.Step(ctx, batch)
+		opt.Step(ctx, m.Params())
+		m.ZeroGrads()
+		run.Losses = append(run.Losses, loss)
+	}
+	run.Profile = ctx.Prof.Summarize()
+	return run, nil
+}
+
+// Artifacts lists the regenerable paper artifacts, in paper order.
+func Artifacts() []string {
+	return []string{
+		"table2b", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+		"ckpt", "fig11", "fig12a", "fig12b", "nmc", "modes", "takeaways",
+	}
+}
+
+// WriteArtifact renders one paper artifact (see Artifacts) for the given
+// model configuration and device.
+func WriteArtifact(w io.Writer, artifact string, cfg Config, dev Device) error {
+	switch artifact {
+	case "table2b":
+		report.Table2b(w, cfg)
+	case "fig3":
+		report.Fig3(w, cfg, dev)
+	case "fig4":
+		report.Fig4(w, cfg, dev)
+	case "fig6":
+		report.Fig6(w, cfg, dev)
+	case "fig7":
+		report.Fig7(w, cfg, dev)
+	case "fig8":
+		report.Fig8(w, cfg, dev)
+	case "fig9":
+		report.Fig9(w, dev)
+	case "ckpt":
+		report.Checkpointing(w, cfg, dev)
+	case "fig11":
+		report.Fig11(w, cfg, dev)
+	case "fig12a":
+		report.Fig12a(w, cfg, dev)
+	case "fig12b":
+		report.Fig12b(w, cfg, dev)
+	case "nmc":
+		report.NMC(w, cfg, dev)
+	case "modes":
+		report.Modes(w, cfg, dev)
+	case "takeaways":
+		report.Takeaways(w, cfg, dev)
+	default:
+		return fmt.Errorf("demystbert: unknown artifact %q (have %v)", artifact, Artifacts())
+	}
+	return nil
+}
+
+// NMCStudy runs the Section 6.2.1 near-memory-compute study for the
+// workload on an MI100-class system with bank-level NMC.
+func NMCStudy(w Workload) nmc.LAMBStudy {
+	return nmc.NewSystem().StudyLAMB(w)
+}
+
+// FineTuneReal runs `iters` real SQuAD-style fine-tuning iterations on a
+// freshly pre-initialized model (Fig. 1b's workflow; pass a loaded
+// checkpoint through NewFineTunerFor for the full pre-train→fine-tune
+// path).
+func FineTuneReal(cfg Config, b, n, iters int, seed uint64) (*RealRun, error) {
+	base, err := model.New(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	f := model.NewFineTuner(base, seed+1)
+	gen := data.NewGenerator(cfg.Vocab, 0.15, seed+2)
+	ctx := nn.NewCtx(seed + 3)
+	opt := optim.NewLAMB(0.01)
+
+	run := &RealRun{Params: base.NumParams()}
+	for i := 0; i < iters; i++ {
+		loss := f.Step(ctx, gen.NextQA(b, n))
+		opt.Step(ctx, f.Params())
+		f.ZeroGrads()
+		run.Losses = append(run.Losses, loss)
+	}
+	run.Profile = ctx.Prof.Summarize()
+	return run, nil
+}

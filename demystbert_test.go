@@ -1,0 +1,155 @@
+package demystbert
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"demystbert/internal/opgraph"
+)
+
+func TestCharacterizeEndToEnd(t *testing.T) {
+	r := Characterize(Phase1(BERTLarge(), 32, FP32), MI100())
+	if r.Total <= 0 {
+		t.Fatal("characterization produced no time")
+	}
+	if r.GEMMShare() <= 0.3 {
+		t.Fatalf("GEMM share %.2f implausible", r.GEMMShare())
+	}
+}
+
+func TestBuildGraphExposesTable2b(t *testing.T) {
+	g := BuildGraph(Phase1(BERTLarge(), 32, FP32))
+	if len(g.GEMMs()) < 20 {
+		t.Fatal("graph missing GEMM population")
+	}
+}
+
+func TestTrainRealTinyBERT(t *testing.T) {
+	run, err := TrainReal(TinyBERT(), 2, 16, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Losses) != 3 {
+		t.Fatalf("got %d losses", len(run.Losses))
+	}
+	if run.Profile.Total.Kernels == 0 {
+		t.Fatal("no kernels profiled")
+	}
+	if run.Params != TinyBERT().ParamCount() {
+		t.Fatalf("param count %d", run.Params)
+	}
+}
+
+func TestTrainRealRejectsBadConfig(t *testing.T) {
+	if _, err := TrainReal(Config{}, 2, 16, 1, 1); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestWriteArtifactAll(t *testing.T) {
+	cfg := BERTLarge()
+	dev := MI100()
+	for _, a := range Artifacts() {
+		var sb strings.Builder
+		if err := WriteArtifact(&sb, a, cfg, dev); err != nil {
+			t.Errorf("artifact %s: %v", a, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("artifact %s produced no output", a)
+		}
+	}
+}
+
+func TestWriteArtifactUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteArtifact(&sb, "fig99", BERTLarge(), MI100()); err == nil {
+		t.Fatal("unknown artifact must error")
+	}
+}
+
+func TestFig11ProfilesFacade(t *testing.T) {
+	ps := Fig11Profiles(Phase1(BERTLarge(), 16, FP32), MI100())
+	if len(ps) != 5 {
+		t.Fatalf("got %d profiles", len(ps))
+	}
+}
+
+func TestNMCStudyFacade(t *testing.T) {
+	st := NMCStudy(Phase1(BERTLarge(), 32, FP32))
+	if st.SpeedupVsOptimistic() < 3 {
+		t.Fatalf("NMC speedup %.2f", st.SpeedupVsOptimistic())
+	}
+}
+
+func TestMemorizeRealLossFalls(t *testing.T) {
+	run, err := MemorizeReal(TinyBERT(), 2, 16, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := run.Losses[0], run.Losses[len(run.Losses)-1]
+	if last >= first {
+		t.Fatalf("memorization loss did not fall: %v -> %v", first, last)
+	}
+}
+
+func TestFineTuneRealFacade(t *testing.T) {
+	run, err := FineTuneReal(TinyBERT(), 2, 16, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Losses) != 2 || run.Profile.Total.Kernels == 0 {
+		t.Fatalf("fine-tune run malformed: %+v", run)
+	}
+	if _, err := FineTuneReal(Config{}, 2, 16, 1, 3); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestModelLifecycleFacade(t *testing.T) {
+	m, err := NewModel(TinyBERT(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumParams() != m.NumParams() {
+		t.Fatal("loaded model parameter count differs")
+	}
+	f := NewFineTunerFor(loaded, 6)
+	if f == nil {
+		t.Fatal("fine-tuner construction failed")
+	}
+}
+
+func TestRunModeWorkloads(t *testing.T) {
+	dev := MI100()
+	w := Phase1(BERTLarge(), 32, FP32)
+	pre := Characterize(w, dev)
+
+	w.Mode = FineTuning
+	ft := Characterize(w, dev)
+	if ft.Total >= pre.Total {
+		t.Fatal("fine-tuning must be cheaper than pre-training (simpler head)")
+	}
+
+	w.Mode = Inference
+	w.Optimizer = opgraph.OptNone
+	inf := Characterize(w, dev)
+	if inf.Total >= ft.Total/2 {
+		t.Fatal("inference must be far cheaper than training")
+	}
+}
+
+func TestGPTMediumCharacterization(t *testing.T) {
+	r := Characterize(Phase1(GPTMedium(), 8, FP32), MI100())
+	if r.Total <= 0 || r.GEMMShare() < 0.3 {
+		t.Fatalf("GPT characterization implausible: total %v GEMM %.2f", r.Total, r.GEMMShare())
+	}
+}

@@ -1,0 +1,66 @@
+package demystbert_test
+
+import (
+	"fmt"
+
+	"demystbert"
+)
+
+// Characterize a paper workload at BERT-Large scale and read off the
+// headline shares of Fig. 3/4.
+func ExampleCharacterize() {
+	r := demystbert.Characterize(
+		demystbert.Phase1(demystbert.BERTLarge(), 32, demystbert.FP32),
+		demystbert.MI100())
+	fmt.Printf("LAMB share: %.0f%%\n", 100*r.LAMBShare())
+	fmt.Printf("GEMMs dominate: %v\n", r.GEMMShare() > 0.5)
+	// Output:
+	// LAMB share: 9%
+	// GEMMs dominate: true
+}
+
+// Enumerate the Table 2b GEMM manifestations of one training iteration.
+func ExampleBuildGraph() {
+	g := demystbert.BuildGraph(demystbert.Phase1(demystbert.BERTLarge(), 32, demystbert.FP32))
+	for _, op := range g.GEMMs() {
+		if op.Name == "fc1_fwd" {
+			fmt.Println(op.GEMM.Label())
+		}
+	}
+	// Output:
+	// NN_4096x4096x1024
+}
+
+// Train a reduced-scale BERT for real and inspect the kernel profile.
+func ExampleTrainReal() {
+	run, err := demystbert.TrainReal(demystbert.TinyBERT(), 2, 16, 1, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("iterations: %d\n", len(run.Losses))
+	fmt.Printf("GEMM kernels recorded: %v\n", run.Profile.GEMMShare() > 0)
+	// Output:
+	// iterations: 1
+	// GEMM kernels recorded: true
+}
+
+// Study the near-memory-compute offload of the LAMB optimizer.
+func ExampleNMCStudy() {
+	st := demystbert.NMCStudy(demystbert.Phase1(demystbert.BERTLarge(), 32, demystbert.FP32))
+	fmt.Printf("LAMB speedup vs optimistic GPU: %.1fx\n", st.SpeedupVsOptimistic())
+	// Output:
+	// LAMB speedup vs optimistic GPU: 3.7x
+}
+
+// Compare distributed-training strategies (Fig. 11).
+func ExampleFig11Profiles() {
+	ps := demystbert.Fig11Profiles(
+		demystbert.Phase1(demystbert.BERTLarge(), 16, demystbert.FP32),
+		demystbert.MI100())
+	fmt.Printf("bars: %d\n", len(ps))
+	fmt.Printf("tensor slicing exposes more comm at 8-way: %v\n",
+		ps[4].CommShare() > ps[3].CommShare())
+	// Output:
+	// bars: 5
+	// tensor slicing exposes more comm at 8-way: true
+}

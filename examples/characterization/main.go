@@ -1,0 +1,50 @@
+// Characterization: regenerate the paper's single-device evaluation — the
+// Fig. 3 runtime breakdowns, Fig. 4 hierarchy, Fig. 6/7 arithmetic
+// intensities, the Fig. 8/9 hyperparameter sweeps, the checkpointing
+// study, and the Table 1 takeaway verdicts — and print a paper-vs-model
+// comparison for the headline numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"demystbert"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/profile"
+)
+
+func main() {
+	cfg := demystbert.BERTLarge()
+	dev := demystbert.MI100()
+
+	for _, a := range []string{"table2b", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "ckpt", "takeaways"} {
+		if err := demystbert.WriteArtifact(os.Stdout, a, cfg, dev); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Headline paper-vs-model comparison.
+	fp32 := demystbert.Characterize(demystbert.Phase1(cfg, 32, demystbert.FP32), dev)
+	mp := demystbert.Characterize(demystbert.Phase1(cfg, 32, demystbert.Mixed), dev)
+	b4 := demystbert.Characterize(demystbert.Phase1(cfg, 4, demystbert.FP32), dev)
+	fb32 := fp32.PhaseTime(profile.Forward) + fp32.PhaseTime(profile.Backward)
+	fb16 := mp.PhaseTime(profile.Forward) + mp.PhaseTime(profile.Backward)
+
+	fmt.Println("\npaper vs model (headline claims)")
+	fmt.Println("================================")
+	row := func(what, paper string, model float64, unit string) {
+		fmt.Printf("  %-44s paper %-10s model %.1f%s\n", what, paper, model, unit)
+	}
+	row("Transformer share, Ph1-B32-FP32", "68-85%", 100*fp32.ClassShare(opgraph.ClassTransformer), "%")
+	row("LAMB share, Ph1-B32-FP32", "7-10%", 100*fp32.LAMBShare(), "%")
+	row("LAMB share, Ph1-B4-FP32", "~25%", 100*b4.LAMBShare(), "%")
+	row("LAMB share, Ph1-B32-FP16", "16-19%", 100*mp.LAMBShare(), "%")
+	row("GEMM share, FP32", "~55%", 100*fp32.GEMMShare(), "%")
+	row("GEMM share, MP", "~36%", 100*mp.GEMMShare(), "%")
+	row("Linear+FC share, FP32", "~57%", 100*fp32.LinearFCShare(), "%")
+	row("Linear+FC share, MP", "~42%", 100*mp.LinearFCShare(), "%")
+	row("Attention ops share, FP32", "~7%", 100*fp32.AttentionOpsShare(), "%")
+	row("MP FWD+BWD speedup", "~2x", float64(fb32)/float64(fb16), "x")
+}

@@ -1,0 +1,88 @@
+// Finetune: the paper's Fig. 1 workflow executed for real — pre-train a
+// tiny BERT, checkpoint it, reload it, attach a SQuAD-style span head,
+// fine-tune on synthetic QA pairs, and predict answer spans — then model
+// the same workflow's cost at BERT-Large scale (Section 7's claim that
+// fine-tuning and pre-training share cost structure while the task head
+// is negligible).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"demystbert"
+	"demystbert/internal/data"
+	"demystbert/internal/nn"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/optim"
+)
+
+func main() {
+	cfg := demystbert.TinyBERT()
+	cfg.DropProb = 0
+
+	// 1. Pre-train briefly.
+	fmt.Println("pre-training (masked-LM + NSP, LAMB)...")
+	pre, err := demystbert.NewModel(cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := data.NewGenerator(cfg.Vocab, 0.15, 43)
+	ctx := nn.NewCtx(44)
+	opt := optim.NewLAMB(0.01)
+	for i := 0; i < 4; i++ {
+		loss := pre.Step(ctx, gen.Next(4, 32))
+		opt.Step(ctx, pre.Params())
+		pre.ZeroGrads()
+		fmt.Printf("  pretrain iteration %d: loss %.4f\n", i+1, loss)
+	}
+
+	// 2. Checkpoint and reload (the hand-off between Fig. 1a and 1b).
+	var ckpt bytes.Buffer
+	if err := pre.Save(&ckpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %d bytes for %d parameters\n\n", ckpt.Len(), pre.NumParams())
+	base, err := demystbert.LoadModel(&ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Fine-tune a span head on one synthetic QA batch until the model
+	//    finds the answer.
+	fmt.Println("fine-tuning a SQuAD-style span head...")
+	f := demystbert.NewFineTunerFor(base, 45)
+	qa := gen.NextQA(2, 16)
+	ftOpt := optim.NewLAMB(0.02)
+	for i := 0; i < 30; i++ {
+		loss := f.Step(ctx, qa)
+		ftOpt.Step(ctx, f.Params())
+		f.ZeroGrads()
+		if i%10 == 9 {
+			fmt.Printf("  finetune iteration %d: span loss %.4f\n", i+1, loss)
+		}
+	}
+	starts, ends := f.PredictSpan(ctx, qa)
+	for s := 0; s < qa.B; s++ {
+		fmt.Printf("  sequence %d: predicted span (%d,%d), gold (%d,%d)\n",
+			s, starts[s], ends[s], qa.StartPos[s], qa.EndPos[s])
+	}
+
+	// 4. The same workflow's cost structure at BERT-Large scale.
+	fmt.Println("\nmodeled BERT-Large iteration cost by run mode (Ph1-B32-FP32):")
+	dev := demystbert.MI100()
+	for _, mode := range []demystbert.RunMode{demystbert.Pretraining, demystbert.FineTuning, demystbert.Inference} {
+		w := demystbert.Phase1(demystbert.BERTLarge(), 32, demystbert.FP32)
+		w.Mode = mode
+		if mode == demystbert.Inference {
+			w.Optimizer = opgraph.OptNone
+		}
+		r := demystbert.Characterize(w, dev)
+		fmt.Printf("  %-10s %8v  (transformer %.1f%%, output %.1f%%)\n",
+			mode, r.Total.Round(time.Millisecond),
+			100*r.ClassShare(opgraph.ClassTransformer),
+			100*r.ClassShare(opgraph.ClassOutput))
+	}
+}

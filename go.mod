@@ -1,0 +1,3 @@
+module demystbert
+
+go 1.22

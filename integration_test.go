@@ -1,0 +1,104 @@
+package demystbert
+
+// Cross-substrate consistency tests: the real execution engine and the
+// analytical operator graph must agree on the algorithmic quantities —
+// they implement the same network, so per-phase GEMM FLOP counts must
+// match exactly, not approximately. A drift here means one substrate's
+// operator enumeration is wrong.
+
+import (
+	"testing"
+
+	"demystbert/internal/data"
+	"demystbert/internal/model"
+	"demystbert/internal/nn"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/profile"
+)
+
+// realTransformerGEMMFLOPs runs one real iteration and sums GEMM FLOPs of
+// transformer-layer kernels per phase.
+func realGEMMFLOPs(t *testing.T, cfg model.Config, b, n int) map[profile.Phase]int64 {
+	t.Helper()
+	m, err := model.New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := nn.NewCtx(2)
+	batch := data.NewGenerator(cfg.Vocab, 0.15, 3).Next(b, n)
+	m.Step(ctx, batch)
+
+	out := make(map[profile.Phase]int64)
+	for _, e := range ctx.Prof.Events() {
+		if e.Category == profile.CatLinear || e.Category == profile.CatAttnBGEMM || e.Category == profile.CatFCGEMM {
+			if e.FLOPs > 0 && e.Kernel != "linear_fwd_bias" && e.Kernel != "linear_bwd_bgrad" {
+				out[e.Phase] += e.FLOPs
+			}
+		}
+	}
+	return out
+}
+
+// graphGEMMFLOPs sums transformer GEMM FLOPs per phase from the
+// analytical graph.
+func graphGEMMFLOPs(cfg model.Config, b, n int) map[profile.Phase]int64 {
+	w := opgraph.Workload{Cfg: cfg, B: b, SeqLen: n, Precision: opgraph.FP32}
+	out := make(map[profile.Phase]int64)
+	for _, op := range opgraph.Build(w).Ops {
+		if op.Class == opgraph.ClassTransformer && op.GEMM != nil {
+			out[op.Phase] += op.TotalFLOPs()
+		}
+	}
+	return out
+}
+
+func TestRealAndAnalyticalGEMMFLOPsMatchExactly(t *testing.T) {
+	cfg := model.Tiny()
+	const b, n = 4, 32
+	real := realGEMMFLOPs(t, cfg, b, n)
+	graph := graphGEMMFLOPs(cfg, b, n)
+
+	for _, ph := range []profile.Phase{profile.Forward, profile.Backward} {
+		// The real profiler folds bias kernels into Linear/FCGEMM
+		// categories but records them as separate events (excluded
+		// above); the remaining GEMM FLOPs must match to the operation.
+		if real[ph] != graph[ph] {
+			t.Errorf("%s transformer GEMM FLOPs: real engine %d vs analytical graph %d",
+				ph, real[ph], graph[ph])
+		}
+	}
+}
+
+func TestRealAndAnalyticalScaleTogether(t *testing.T) {
+	// Doubling B must exactly double both substrates' transformer GEMM
+	// FLOPs — the linear-in-tokens law (Obs. 3) holding bit-for-bit.
+	cfg := model.Tiny()
+	g1 := graphGEMMFLOPs(cfg, 2, 32)
+	g2 := graphGEMMFLOPs(cfg, 4, 32)
+	r1 := realGEMMFLOPs(t, cfg, 2, 32)
+	r2 := realGEMMFLOPs(t, cfg, 4, 32)
+	for _, ph := range []profile.Phase{profile.Forward, profile.Backward} {
+		if g2[ph] != 2*g1[ph] {
+			t.Errorf("graph %s FLOPs not linear in B: %d vs %d", ph, g2[ph], g1[ph])
+		}
+		if r2[ph] != 2*r1[ph] {
+			t.Errorf("real %s FLOPs not linear in B: %d vs %d", ph, r2[ph], r1[ph])
+		}
+	}
+}
+
+func TestRealEngineLAMBTrafficMatchesTakeaway7(t *testing.T) {
+	// The real optimizer's recorded stage-1 traffic must equal the
+	// analytical 7 × params × 4 bytes for the same model.
+	cfg := model.Tiny()
+	run, err := TrainReal(cfg, 2, 16, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run.Profile.ByCategory[profile.CatLAMBStage1].Bytes
+	// Subtract the global-norm read (1 × params × 4).
+	params := int64(cfg.ParamCount())
+	if want := 7*params*4 + params*4; got != want {
+		t.Errorf("real LAMB stage-1+norm traffic %d, want %d", got, want)
+	}
+}

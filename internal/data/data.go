@@ -1,0 +1,165 @@
+// Package data generates synthetic BERT pre-training batches. The paper
+// profiles one steady-state iteration of Wikipedia pre-training; iteration
+// cost depends only on the batch geometry (B, n) and vocabulary size, not
+// on token values, so deterministic synthetic batches exercise the
+// identical code path (see DESIGN.md substitution table).
+package data
+
+import (
+	"fmt"
+
+	"demystbert/internal/kernels"
+	"demystbert/internal/tensor"
+)
+
+// Special token ids, mirroring BERT's WordPiece conventions.
+const (
+	PadID  = 0
+	ClsID  = 1
+	SepID  = 2
+	MaskID = 3
+	// FirstWordID is the first id usable for ordinary words.
+	FirstWordID = 4
+)
+
+// Batch is one pre-training mini-batch of B sequences of n tokens.
+type Batch struct {
+	B, N int
+
+	// Tokens and Segments are row-major [B·n] id arrays. Every sequence
+	// begins with [CLS] and contains a [SEP] between its two sentences.
+	Tokens   []int
+	Segments []int
+
+	// MLMTargets holds the original token id at masked positions and
+	// kernels.IgnoreIndex elsewhere (masked-word prediction task).
+	MLMTargets []int
+
+	// NSPLabels (length B) are the next-sentence-prediction labels.
+	NSPLabels []int
+
+	// Mask is the additive [B, n] attention mask: 0 for real tokens,
+	// -1e9 for padding.
+	Mask *tensor.Tensor
+}
+
+// Generator produces deterministic synthetic batches.
+type Generator struct {
+	vocab    int
+	maskProb float32
+	rng      *tensor.RNG
+}
+
+// NewGenerator returns a generator over the given vocabulary size, masking
+// maskProb of the tokens (BERT uses 0.15).
+func NewGenerator(vocab int, maskProb float32, seed uint64) *Generator {
+	if vocab <= FirstWordID {
+		panic(fmt.Sprintf("data: vocab %d must exceed the %d special ids", vocab, FirstWordID))
+	}
+	if maskProb < 0 || maskProb >= 1 {
+		panic(fmt.Sprintf("data: mask probability %v outside [0,1)", maskProb))
+	}
+	return &Generator{vocab: vocab, maskProb: maskProb, rng: tensor.NewRNG(seed)}
+}
+
+// Next generates a batch of b full-length sequences of n tokens.
+func (g *Generator) Next(b, n int) *Batch {
+	if b <= 0 || n < 4 {
+		panic(fmt.Sprintf("data: batch %dx%d too small (need n >= 4 for CLS/SEP structure)", b, n))
+	}
+	batch := &Batch{
+		B:          b,
+		N:          n,
+		Tokens:     make([]int, b*n),
+		Segments:   make([]int, b*n),
+		MLMTargets: make([]int, b*n),
+		NSPLabels:  make([]int, b),
+		Mask:       tensor.New(b, n),
+	}
+	for i := range batch.MLMTargets {
+		batch.MLMTargets[i] = kernels.IgnoreIndex
+	}
+	for s := 0; s < b; s++ {
+		base := s * n
+		// Sentence A occupies [1, sep); sentence B occupies (sep, n).
+		sep := 1 + (n-2)/2
+		batch.Tokens[base] = ClsID
+		for i := 1; i < n; i++ {
+			if i == sep {
+				batch.Tokens[base+i] = SepID
+			} else {
+				batch.Tokens[base+i] = FirstWordID + g.rng.Intn(g.vocab-FirstWordID)
+			}
+			if i > sep {
+				batch.Segments[base+i] = 1
+			}
+		}
+		batch.NSPLabels[s] = g.rng.Intn(2)
+
+		// Mask ordinary word positions. BERT's 80/10/10 rule: 80% become
+		// [MASK], 10% a random token, 10% unchanged.
+		for i := 1; i < n; i++ {
+			if i == sep || g.rng.Float32() >= g.maskProb {
+				continue
+			}
+			batch.MLMTargets[base+i] = batch.Tokens[base+i]
+			switch r := g.rng.Float32(); {
+			case r < 0.8:
+				batch.Tokens[base+i] = MaskID
+			case r < 0.9:
+				batch.Tokens[base+i] = FirstWordID + g.rng.Intn(g.vocab-FirstWordID)
+			}
+		}
+	}
+	return batch
+}
+
+// MaskedCount returns the number of positions scored by the MLM loss.
+func (b *Batch) MaskedCount() int {
+	c := 0
+	for _, t := range b.MLMTargets {
+		if t != kernels.IgnoreIndex {
+			c++
+		}
+	}
+	return c
+}
+
+// Tokens per iteration, the paper's n·B quantity that forward/backward
+// cost scales with (Section 3.3.1).
+func (b *Batch) TokenCount() int { return b.B * b.N }
+
+// NextVarLen generates a batch whose sequences have heterogeneous real
+// lengths in [minLen, n], padded with [PAD] to the bucket length n and
+// masked out of attention — the heterogeneity the paper notes makes NLP
+// iterations non-uniform (Section 3.1.4, citing SeqPoint). Padded
+// positions carry a large-negative attention mask and are never selected
+// as MLM targets.
+func (g *Generator) NextVarLen(b, n, minLen int) *Batch {
+	if minLen < 4 || minLen > n {
+		panic(fmt.Sprintf("data: minLen %d outside [4, %d]", minLen, n))
+	}
+	batch := g.Next(b, n)
+	for s := 0; s < b; s++ {
+		length := minLen + g.rng.Intn(n-minLen+1)
+		base := s * n
+		for i := length; i < n; i++ {
+			batch.Tokens[base+i] = PadID
+			batch.Segments[base+i] = 1 // padding continues segment B
+			batch.MLMTargets[base+i] = kernels.IgnoreIndex
+			batch.Mask.Set(-1e9, s, i)
+		}
+	}
+	return batch
+}
+
+// RealTokenCount returns the number of non-padding tokens.
+func (b *Batch) RealTokenCount() int {
+	c := 0
+	for _, t := range b.Tokens {
+		if t != PadID {
+			c++
+		}
+	}
+	return c
+}

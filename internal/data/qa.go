@@ -1,0 +1,73 @@
+package data
+
+import (
+	"fmt"
+
+	"demystbert/internal/tensor"
+)
+
+// QABatch is a synthetic extractive-QA fine-tuning batch in the SQuAD
+// style: a question (segment 0) and a context passage (segment 1) per
+// sequence, with gold answer-span start and end positions inside the
+// passage.
+type QABatch struct {
+	B, N int
+
+	Tokens   []int
+	Segments []int
+
+	// StartPos and EndPos (length B) are the gold span boundaries,
+	// indices into the sequence.
+	StartPos []int
+	EndPos   []int
+
+	// Mask is the additive [B, n] attention mask.
+	Mask *tensor.Tensor
+}
+
+// NextQA generates a QA batch of b sequences of n tokens: [CLS] question
+// [SEP] context, with a random answer span inside the context.
+func (g *Generator) NextQA(b, n int) *QABatch {
+	if b <= 0 || n < 8 {
+		panic(fmt.Sprintf("data: QA batch %dx%d too small (need n >= 8)", b, n))
+	}
+	batch := &QABatch{
+		B:        b,
+		N:        n,
+		Tokens:   make([]int, b*n),
+		Segments: make([]int, b*n),
+		StartPos: make([]int, b),
+		EndPos:   make([]int, b),
+		Mask:     tensor.New(b, n),
+	}
+	for s := 0; s < b; s++ {
+		base := s * n
+		sep := 2 + g.rng.Intn(n/2-2) // question length varies
+		batch.Tokens[base] = ClsID
+		for i := 1; i < n; i++ {
+			if i == sep {
+				batch.Tokens[base+i] = SepID
+			} else {
+				batch.Tokens[base+i] = FirstWordID + g.rng.Intn(g.vocab-FirstWordID)
+			}
+			if i > sep {
+				batch.Segments[base+i] = 1
+			}
+		}
+		// Answer span inside the context (after SEP).
+		ctxStart := sep + 1
+		ctxLen := n - ctxStart
+		start := ctxStart + g.rng.Intn(ctxLen)
+		span := g.rng.Intn(min(4, n-start)) // short answers
+		batch.StartPos[s] = start
+		batch.EndPos[s] = start + span
+	}
+	return batch
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,328 @@
+package ddp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"demystbert/internal/kernels"
+	"demystbert/internal/nn"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+// SlicedLayer executes one Transformer encoder layer under m-way
+// Megatron-style tensor slicing, for real (Fig. 10): each worker holds
+// 1/m of the attention heads (column-split Q/K/V projections), the
+// matching row-split slice of the output projection, a column-split FC-1
+// and row-split FC-2 slice, and a full replica of the LayerNorms. The two
+// forward partial-sum AllReduces (after the output projection and after
+// FC-2) and the two backward input-gradient AllReduces (into the Q/K/V
+// and FC-1 inputs) run as real ring AllReduces across the workers —
+// Section 5.1's four AllReduces per layer, executed.
+//
+// Dropout is disabled inside the sliced layer: the replicated dropout of
+// real Megatron requires synchronized RNG streams, and the layer's
+// purpose here is numerical parity with an unsliced reference.
+type SlicedLayer struct {
+	Workers []*slicedWorker
+	AttnLN  *nn.LayerNorm
+	FFLN    *nn.LayerNorm
+
+	dModel, heads, dFF int
+
+	// Saved for backward.
+	b, n    int
+	input   *tensor.Tensor
+	attnSum *tensor.Tensor // post-residual attention-block LN input
+	ffSum   *tensor.Tensor
+}
+
+type slicedWorker struct {
+	rank int
+	// Column-parallel projections: out = dModel/m features each.
+	wq, wk, wv *nn.Linear
+	// Row-parallel output projection: in = dModel/m, out = dModel.
+	wo *nn.Linear
+	// FC-1 column-parallel (out = dFF/m), FC-2 row-parallel (in = dFF/m).
+	fc1, fc2 *nn.Linear
+	gelu     *nn.GeLU
+
+	attn *slicedAttention
+}
+
+// NewSlicedLayer slices a reference encoder layer's weights across m
+// workers. The reference layer is read, not mutated; it must have been
+// built with nn.NewEncoderLayer.
+func NewSlicedLayer(ref *nn.EncoderLayer, m int) (*SlicedLayer, error) {
+	dModel := ref.Attn.Wq.In()
+	heads := ref.Attn.Heads()
+	dFF := ref.FF.FC1.Out()
+	if heads%m != 0 || dFF%m != 0 || dModel%m != 0 {
+		return nil, fmt.Errorf("ddp: %d-way slicing does not divide h=%d, d_ff=%d, d_model=%d", m, heads, dFF, dModel)
+	}
+	dm, ffm, hm := dModel/m, dFF/m, heads/m
+
+	s := &SlicedLayer{
+		AttnLN: cloneLN(ref.AttnLN, dModel),
+		FFLN:   cloneLN(ref.FFLN, dModel),
+		dModel: dModel,
+		heads:  heads,
+		dFF:    dFF,
+	}
+	for w := 0; w < m; w++ {
+		worker := &slicedWorker{
+			rank: w,
+			wq:   sliceLinearRows(ref.Attn.Wq, w*dm, dm),
+			wk:   sliceLinearRows(ref.Attn.Wk, w*dm, dm),
+			wv:   sliceLinearRows(ref.Attn.Wv, w*dm, dm),
+			wo:   sliceLinearCols(ref.Attn.Wo, w*dm, dm, w == 0),
+			fc1:  sliceLinearRows(ref.FF.FC1, w*ffm, ffm),
+			fc2:  sliceLinearCols(ref.FF.FC2, w*ffm, ffm, w == 0),
+			gelu: nn.NewGeLU(),
+			attn: &slicedAttention{heads: hm, dHead: dModel / heads},
+		}
+		s.Workers = append(s.Workers, worker)
+	}
+	return s, nil
+}
+
+// cloneLN copies a LayerNorm's parameters into a fresh module (replicated
+// weights; gradients accumulate locally and are identical across workers,
+// so one replica suffices).
+func cloneLN(ref *nn.LayerNorm, dim int) *nn.LayerNorm {
+	ln := nn.NewLayerNorm("ts.ln", dim)
+	ln.Gamma.Value.CopyFrom(ref.Gamma.Value)
+	ln.Beta.Value.CopyFrom(ref.Beta.Value)
+	return ln
+}
+
+// sliceLinearRows builds a column-parallel shard: rows [off, off+count) of
+// the reference weight (output features) and the matching bias slice.
+func sliceLinearRows(ref *nn.Linear, off, count int) *nn.Linear {
+	in := ref.In()
+	l := nn.NewLinear("ts.colpar", in, count, profile.CatLinear, tensor.NewRNG(1))
+	for r := 0; r < count; r++ {
+		copy(l.W.Value.Row(r), ref.W.Value.Row(off+r))
+	}
+	copy(l.B.Value.Data(), ref.B.Value.Data()[off:off+count])
+	return l
+}
+
+// sliceLinearCols builds a row-parallel shard: columns [off, off+count) of
+// the reference weight (input features). Only the first worker carries
+// the bias — partial sums are added across workers, so a replicated bias
+// would be counted m times.
+func sliceLinearCols(ref *nn.Linear, off, count int, withBias bool) *nn.Linear {
+	out := ref.Out()
+	l := nn.NewLinear("ts.rowpar", count, out, profile.CatLinear, tensor.NewRNG(1))
+	for r := 0; r < out; r++ {
+		copy(l.W.Value.Row(r), ref.W.Value.Row(r)[off:off+count])
+	}
+	if withBias {
+		copy(l.B.Value.Data(), ref.B.Value.Data())
+	} else {
+		l.B.Value.Zero()
+	}
+	return l
+}
+
+// Forward runs the sliced layer over x: [B·n, dModel].
+func (s *SlicedLayer) Forward(ctx *nn.Ctx, x *tensor.Tensor, b, n int) *tensor.Tensor {
+	s.b, s.n = b, n
+	s.input = x
+	m := len(s.Workers)
+
+	// Attention: each worker computes its heads' context slice and its
+	// row-parallel partial projection output, in parallel.
+	partials := make([][]float32, m)
+	var wg sync.WaitGroup
+	for i, w := range s.Workers {
+		wg.Add(1)
+		go func(i int, w *slicedWorker) {
+			defer wg.Done()
+			partials[i] = w.attnForward(ctx, x, b, n)
+		}(i, w)
+	}
+	wg.Wait()
+	// First forward AllReduce: sum the partial projection outputs.
+	RingAllReduce(partials)
+	attnOut := tensor.Of(partials[0], b*n, s.dModel)
+
+	// Replicated residual + LN.
+	sum := tensor.New(b*n, s.dModel)
+	kernels.Add(sum.Data(), attnOut.Data(), x.Data())
+	s.attnSum = sum
+	h := s.AttnLN.Forward(ctx, sum)
+
+	// FC block: column-parallel FC-1 + GeLU, row-parallel FC-2 partials.
+	for i, w := range s.Workers {
+		wg.Add(1)
+		go func(i int, w *slicedWorker) {
+			defer wg.Done()
+			partials[i] = w.ffForward(ctx, h)
+		}(i, w)
+	}
+	wg.Wait()
+	// Second forward AllReduce.
+	RingAllReduce(partials)
+	ffOut := tensor.Of(partials[0], b*n, s.dModel)
+
+	sum2 := tensor.New(b*n, s.dModel)
+	kernels.Add(sum2.Data(), ffOut.Data(), h.Data())
+	s.ffSum = sum2
+	return s.FFLN.Forward(ctx, sum2)
+}
+
+// Backward propagates dY through the sliced layer and returns dX. The two
+// backward AllReduces combine the workers' partial input gradients.
+func (s *SlicedLayer) Backward(ctx *nn.Ctx, dY *tensor.Tensor) *tensor.Tensor {
+	m := len(s.Workers)
+	var wg sync.WaitGroup
+
+	// FF block backward.
+	dSum2 := s.FFLN.Backward(ctx, dY)
+	partials := make([][]float32, m)
+	for i, w := range s.Workers {
+		wg.Add(1)
+		go func(i int, w *slicedWorker) {
+			defer wg.Done()
+			partials[i] = w.ffBackward(ctx, dSum2)
+		}(i, w)
+	}
+	wg.Wait()
+	// First backward AllReduce: sum partial dH contributions.
+	RingAllReduce(partials)
+	dH := tensor.Of(partials[0], s.b*s.n, s.dModel)
+	// Skip connection adds the post-LN gradient directly.
+	kernels.AccumulateInto(dH.Data(), dSum2.Data())
+
+	// Attention block backward.
+	dSum := s.AttnLN.Backward(ctx, dH)
+	for i, w := range s.Workers {
+		wg.Add(1)
+		go func(i int, w *slicedWorker) {
+			defer wg.Done()
+			partials[i] = w.attnBackward(ctx, dSum)
+		}(i, w)
+	}
+	wg.Wait()
+	// Second backward AllReduce: sum partial dX contributions.
+	RingAllReduce(partials)
+	dX := tensor.Of(partials[0], s.b*s.n, s.dModel)
+	kernels.AccumulateInto(dX.Data(), dSum.Data())
+	return dX
+}
+
+// attnForward computes this worker's heads and returns its partial
+// (pre-AllReduce) projection output as a flat buffer.
+func (w *slicedWorker) attnForward(ctx *nn.Ctx, x *tensor.Tensor, b, n int) []float32 {
+	q := w.wq.Forward(ctx, x)
+	k := w.wk.Forward(ctx, x)
+	v := w.wv.Forward(ctx, x)
+	ctxSlice := w.attn.forward(q, k, v, b, n)
+	out := w.wo.Forward(ctx, ctxSlice)
+	return out.Data()
+}
+
+func (w *slicedWorker) attnBackward(ctx *nn.Ctx, dOut *tensor.Tensor) []float32 {
+	dCtx := w.wo.Backward(ctx, dOut)
+	dQ, dK, dV := w.attn.backward(dCtx)
+	dX := w.wq.Backward(ctx, dQ)
+	kernels.AccumulateInto(dX.Data(), w.wk.Backward(ctx, dK).Data())
+	kernels.AccumulateInto(dX.Data(), w.wv.Backward(ctx, dV).Data())
+	return dX.Data()
+}
+
+func (w *slicedWorker) ffForward(ctx *nn.Ctx, h *tensor.Tensor) []float32 {
+	a := w.fc1.Forward(ctx, h)
+	a = w.gelu.Forward(ctx, a)
+	return w.fc2.Forward(ctx, a).Data()
+}
+
+func (w *slicedWorker) ffBackward(ctx *nn.Ctx, dOut *tensor.Tensor) []float32 {
+	dA := w.fc2.Backward(ctx, dOut)
+	dA = w.gelu.Backward(ctx, dA)
+	return w.fc1.Backward(ctx, dA).Data()
+}
+
+// slicedAttention is the per-worker multi-head attention core over its
+// head subset (no projections, no dropout).
+type slicedAttention struct {
+	heads, dHead int
+
+	b, n       int
+	qh, kh, vh *tensor.Tensor
+	probs      *tensor.Tensor
+}
+
+func (a *slicedAttention) forward(q, k, v *tensor.Tensor, b, n int) *tensor.Tensor {
+	a.b, a.n = b, n
+	batch := b * a.heads
+	dSlice := a.heads * a.dHead
+	stQK, stS := n*a.dHead, n*n
+
+	a.qh = tensor.New(batch, n, a.dHead)
+	a.kh = tensor.New(batch, n, a.dHead)
+	a.vh = tensor.New(batch, n, a.dHead)
+	kernels.SplitHeads(a.qh.Data(), q.Data(), b, n, a.heads, a.dHead)
+	kernels.SplitHeads(a.kh.Data(), k.Data(), b, n, a.heads, a.dHead)
+	kernels.SplitHeads(a.vh.Data(), v.Data(), b, n, a.heads, a.dHead)
+
+	scores := tensor.New(batch, n, n)
+	kernels.BatchedGEMM(batch, false, true, n, n, a.dHead, 1,
+		a.qh.Data(), stQK, a.kh.Data(), stQK, 0, scores.Data(), stS)
+
+	a.probs = tensor.New(batch, n, n)
+	scale := float32(1) / sqrt32(float32(a.dHead))
+	kernels.ScaleMaskSoftmaxAttention(a.probs.Data(), scores.Data(), nil, scale, false, b, a.heads, n)
+
+	ctxOut := tensor.New(batch, n, a.dHead)
+	kernels.BatchedGEMM(batch, false, false, n, a.dHead, n, 1,
+		a.probs.Data(), stS, a.vh.Data(), stQK, 0, ctxOut.Data(), stQK)
+
+	merged := tensor.New(b*n, dSlice)
+	kernels.MergeHeads(merged.Data(), ctxOut.Data(), b, n, a.heads, a.dHead)
+	return merged
+}
+
+func (a *slicedAttention) backward(dMerged *tensor.Tensor) (dQ, dK, dV *tensor.Tensor) {
+	b, n := a.b, a.n
+	batch := b * a.heads
+	dSlice := a.heads * a.dHead
+	stQK, stS := n*a.dHead, n*n
+
+	dCtx := tensor.New(batch, n, a.dHead)
+	kernels.SplitHeads(dCtx.Data(), dMerged.Data(), b, n, a.heads, a.dHead)
+
+	dProbs := tensor.New(batch, n, n)
+	dVh := tensor.New(batch, n, a.dHead)
+	kernels.BatchedGEMM(batch, false, true, n, n, a.dHead, 1,
+		dCtx.Data(), stQK, a.vh.Data(), stQK, 0, dProbs.Data(), stS)
+	kernels.BatchedGEMM(batch, true, false, n, a.dHead, n, 1,
+		a.probs.Data(), stS, dCtx.Data(), stQK, 0, dVh.Data(), stQK)
+
+	dScores := tensor.New(batch, n, n)
+	kernels.SoftmaxGrad(dScores.Data(), dProbs.Data(), a.probs.Data(), batch*n, n)
+	scale := float32(1) / sqrt32(float32(a.dHead))
+	kernels.Scale(dScores.Data(), dScores.Data(), scale)
+
+	dQh := tensor.New(batch, n, a.dHead)
+	dKh := tensor.New(batch, n, a.dHead)
+	kernels.BatchedGEMM(batch, false, false, n, a.dHead, n, 1,
+		dScores.Data(), stS, a.kh.Data(), stQK, 0, dQh.Data(), stQK)
+	kernels.BatchedGEMM(batch, true, false, n, a.dHead, n, 1,
+		dScores.Data(), stS, a.qh.Data(), stQK, 0, dKh.Data(), stQK)
+
+	dQ = tensor.New(b*n, dSlice)
+	dK = tensor.New(b*n, dSlice)
+	dV = tensor.New(b*n, dSlice)
+	kernels.MergeHeads(dQ.Data(), dQh.Data(), b, n, a.heads, a.dHead)
+	kernels.MergeHeads(dK.Data(), dKh.Data(), b, n, a.heads, a.dHead)
+	kernels.MergeHeads(dV.Data(), dVh.Data(), b, n, a.heads, a.dHead)
+	return dQ, dK, dV
+}
+
+func sqrt32(x float32) float32 {
+	return float32(math.Sqrt(float64(x)))
+}

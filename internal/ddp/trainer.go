@@ -1,0 +1,143 @@
+package ddp
+
+import (
+	"fmt"
+	"sync"
+
+	"demystbert/internal/data"
+	"demystbert/internal/model"
+	"demystbert/internal/nn"
+	"demystbert/internal/optim"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+// Trainer trains D identically-initialized BERT replicas data-parallel:
+// each step runs the replicas' forward/backward concurrently on their own
+// batch shards, ring-allreduces and averages the gradients, and applies
+// identical LAMB updates — so the replicas stay bit-identical, the
+// invariant real DP training maintains (Section 2.5).
+type Trainer struct {
+	Replicas []*model.BERT
+	ctxs     []*nn.Ctx
+	opts     []*optim.LAMB
+
+	flat [][]float32 // reusable flattened-gradient buffers
+}
+
+// NewTrainer builds a D-replica trainer with deterministic identical
+// initialization.
+func NewTrainer(cfg model.Config, d int, seed uint64) (*Trainer, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("ddp: need at least one replica, got %d", d)
+	}
+	t := &Trainer{}
+	for i := 0; i < d; i++ {
+		m, err := model.New(cfg, seed) // same seed: identical weights
+		if err != nil {
+			return nil, err
+		}
+		t.Replicas = append(t.Replicas, m)
+		// Distinct dropout streams per replica, as real DP training has.
+		t.ctxs = append(t.ctxs, &nn.Ctx{
+			Prof:  profile.New(),
+			RNG:   tensor.NewRNG(seed + uint64(i)*7919),
+			Train: true,
+		})
+		t.opts = append(t.opts, optim.NewLAMB(0.01))
+		t.flat = append(t.flat, make([]float32, gradLen(m)))
+	}
+	return t, nil
+}
+
+// Devices returns the replica count.
+func (t *Trainer) Devices() int { return len(t.Replicas) }
+
+func gradLen(m *model.BERT) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// Step trains one iteration: batches[i] goes to replica i. It returns the
+// per-replica losses. The effective mini-batch is the union of the
+// shards, exactly as data-parallel training defines it (D·B).
+func (t *Trainer) Step(batches []*data.Batch) ([]float64, error) {
+	d := t.Devices()
+	if len(batches) != d {
+		return nil, fmt.Errorf("ddp: %d batches for %d replicas", len(batches), d)
+	}
+
+	// Local forward/backward in parallel.
+	losses := make([]float64, d)
+	var wg sync.WaitGroup
+	for i := 0; i < d; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			losses[i] = t.Replicas[i].Step(t.ctxs[i], batches[i])
+		}(i)
+	}
+	wg.Wait()
+
+	// Gather gradients into flat buffers, AllReduce, average, scatter
+	// back.
+	for i, m := range t.Replicas {
+		off := 0
+		for _, p := range m.Params() {
+			off += copy(t.flat[i][off:], p.Grad.Data())
+		}
+	}
+	RingAllReduce(t.flat)
+	inv := float32(1) / float32(d)
+	for i, m := range t.Replicas {
+		off := 0
+		for _, p := range m.Params() {
+			g := p.Grad.Data()
+			src := t.flat[i][off : off+len(g)]
+			for j := range g {
+				g[j] = src[j] * inv
+			}
+			off += len(g)
+		}
+	}
+
+	// Identical optimizer steps on identical gradients keep replicas in
+	// sync; run them in parallel like real devices would.
+	for i := 0; i < d; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t.opts[i].Step(t.ctxs[i], t.Replicas[i].Params())
+			t.Replicas[i].ZeroGrads()
+		}(i)
+	}
+	wg.Wait()
+	return losses, nil
+}
+
+// InSync reports whether every replica's parameters are bit-identical to
+// replica 0's, and the first divergent parameter name if not.
+func (t *Trainer) InSync() (bool, string) {
+	ref := t.Replicas[0].Params()
+	for r := 1; r < len(t.Replicas); r++ {
+		ps := t.Replicas[r].Params()
+		for i, p := range ps {
+			a, b := ref[i].Value.Data(), p.Value.Data()
+			for j := range a {
+				if a[j] != b[j] {
+					return false, fmt.Sprintf("replica %d, %s[%d]", r, p.Name, j)
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// CommBytesPerStep returns the bytes each replica transmits per iteration
+// for gradient synchronization.
+func (t *Trainer) CommBytesPerStep() int64 {
+	return BytesMoved(len(t.flat[0]), t.Devices())
+}

@@ -1,0 +1,173 @@
+// Package device models an accelerator as a calibrated roofline: peak
+// matrix-pipeline and vector FLOP rates per precision, memory bandwidth,
+// per-kernel launch overhead, and size-dependent efficiency curves. An
+// operator's modeled time is max(compute time, memory time) plus launch
+// overhead — the same first-order reasoning the paper applies when it
+// classifies operators as compute- or memory-bound by arithmetic
+// intensity (Section 2.6) and when it builds its own analytical model for
+// multi-device training (Section 5.1).
+//
+// Efficiency curves capture the two effects the paper repeatedly
+// observes: small kernels cannot fill a highly parallel accelerator
+// (Takeaway 6: skinny attention GEMMs under-utilize), and small or
+// many-stream element-wise kernels achieve a fraction of peak DRAM
+// bandwidth (Fig. 7's achieved-bandwidth spread).
+package device
+
+import (
+	"time"
+
+	"demystbert/internal/opgraph"
+)
+
+// Device is a roofline accelerator model. All rates are per second.
+type Device struct {
+	Name string
+
+	// Peak GEMM throughput (matrix pipelines) per precision, FLOP/s.
+	GEMMPeakFP32 float64
+	GEMMPeakFP16 float64
+	// Peak element-wise/vector throughput, FLOP/s (non-GEMM kernels).
+	VectorPeak float64
+
+	// MemBW is peak DRAM bandwidth in bytes/s.
+	MemBW float64
+
+	// Launch is the fixed host-side cost of one kernel launch.
+	Launch time.Duration
+
+	// GEMMMaxEff is the fraction of GEMM peak reached by very large
+	// GEMMs; GEMMHalfWork{32,16} is the per-kernel FLOP count at which a
+	// GEMM reaches half of GEMMMaxEff (smaller kernels cannot fill the
+	// machine; FP16 matrix pipes need more parallelism to saturate).
+	GEMMMaxEff     float64
+	GEMMHalfWork32 float64
+	GEMMHalfWork16 float64
+
+	// MemMaxEff is the fraction of peak bandwidth achieved by large
+	// streaming kernels; MemHalfBytes is the kernel footprint at which
+	// half of that is reached.
+	MemMaxEff    float64
+	MemHalfBytes float64
+
+	// OptimizerMemEff further scales the bandwidth achieved by optimizer
+	// (LAMB) kernels: their seven concurrent read/write streams over
+	// weights, gradients, and state reach a lower fraction of peak than a
+	// simple copy — visible in Fig. 7, where LAMBStage1/2 sit well below
+	// the element-wise-multiply bandwidth ceiling.
+	OptimizerMemEff float64
+
+	// Interconnect is the per-direction link bandwidth (bytes/s) used by
+	// the distributed-training models, and InterconnectLatency the
+	// per-message latency.
+	Interconnect        float64
+	InterconnectLatency time.Duration
+}
+
+// MI100 returns the calibrated model of the paper's measurement platform:
+// an AMD Instinct MI100-class GPU (23.1 TFLOP/s FP32 vector, 46.1 TFLOP/s
+// FP32 matrix, 184.6 TFLOP/s FP16 matrix, 1.23 TB/s HBM2) attached over
+// PCIe 4.0 x16. Efficiency parameters are calibrated so the modeled
+// runtime proportions of the paper's workloads land inside its reported
+// bands (see internal/perfmodel's calibration tests).
+func MI100() Device {
+	return Device{
+		Name:         "MI100-class",
+		GEMMPeakFP32: 46.1e12,
+		GEMMPeakFP16: 184.6e12,
+		VectorPeak:   23.1e12,
+		MemBW:        1.23e12,
+		Launch:       20 * time.Microsecond,
+
+		GEMMMaxEff:     0.75,
+		GEMMHalfWork32: 3.5e9,
+		GEMMHalfWork16: 8e9,
+
+		MemMaxEff:       0.44,
+		MemHalfBytes:    12e6,
+		OptimizerMemEff: 0.66,
+
+		Interconnect:        32e9, // PCIe 4.0 x16 per direction
+		InterconnectLatency: 5 * time.Microsecond,
+	}
+}
+
+// GEMMRate returns the achieved FLOP/s for a GEMM kernel of the given
+// total work (FLOPs across its batch) at the given precision.
+func (d Device) GEMMRate(p opgraph.Precision, work float64) float64 {
+	peak := d.GEMMPeakFP32
+	half := d.GEMMHalfWork32
+	if p == opgraph.Mixed {
+		peak = d.GEMMPeakFP16
+		half = d.GEMMHalfWork16
+	}
+	if work <= 0 {
+		return peak * d.GEMMMaxEff
+	}
+	return peak * d.GEMMMaxEff * work / (work + half)
+}
+
+// MemRate returns the achieved bytes/s for a kernel moving the given
+// number of bytes.
+func (d Device) MemRate(bytes float64) float64 {
+	if bytes <= 0 {
+		return d.MemBW * d.MemMaxEff
+	}
+	return d.MemBW * d.MemMaxEff * bytes / (bytes + d.MemHalfBytes)
+}
+
+// VectorRate returns the achieved FLOP/s for non-GEMM arithmetic.
+func (d Device) VectorRate() float64 {
+	return d.VectorPeak * d.GEMMMaxEff
+}
+
+// OpTime models one launch of op: the roofline maximum of compute and
+// memory time plus launch overhead.
+func (d Device) OpTime(op opgraph.Op, p opgraph.Precision) time.Duration {
+	var compute float64
+	if op.GEMM != nil {
+		compute = float64(op.FLOPs) / d.GEMMRate(p, float64(op.FLOPs))
+	} else if op.FLOPs > 0 {
+		compute = float64(op.FLOPs) / d.VectorRate()
+	}
+	mem := float64(op.Bytes) / d.MemRate(float64(op.Bytes))
+	if op.Class == opgraph.ClassLAMB && d.OptimizerMemEff > 0 {
+		mem /= d.OptimizerMemEff
+	}
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return time.Duration(t*1e9)*time.Nanosecond + d.Launch
+}
+
+// Presets returns the device family used by the Section 7 "other
+// accelerators" discussion: the calibrated MI100-class model plus
+// hypothetical designs with different compute-to-bandwidth ratios. The
+// paper argues its architecture-agnostic takeaways can be extrapolated by
+// comparing these ratios; the cross-device tests in internal/perfmodel
+// verify that every ordering-level claim indeed survives each preset.
+func Presets() []Device {
+	base := MI100()
+	computeRich := base.Scale(2, 1, 1)
+	computeRich.Name = "compute-rich (2x FLOPs)"
+	bwRich := base.Scale(1, 2, 1)
+	bwRich.Name = "bandwidth-rich (2x HBM)"
+	nextGen := base.Scale(2.5, 1.6, 2)
+	nextGen.Name = "next-gen (2.5x FLOPs, 1.6x HBM)"
+	return []Device{base, computeRich, bwRich, nextGen}
+}
+
+// Scale returns a copy of the device with compute rates and bandwidth
+// multiplied by the given factors — the "hypothetical GPU/network
+// improvements" projections Section 5.1 mentions.
+func (d Device) Scale(computeX, bwX, linkX float64) Device {
+	out := d
+	out.GEMMPeakFP32 *= computeX
+	out.GEMMPeakFP16 *= computeX
+	out.VectorPeak *= computeX
+	out.MemBW *= bwX
+	out.Interconnect *= linkX
+	out.Name = d.Name + "-scaled"
+	return out
+}

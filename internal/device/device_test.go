@@ -1,0 +1,144 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"demystbert/internal/opgraph"
+)
+
+func TestMI100Spec(t *testing.T) {
+	d := MI100()
+	if d.GEMMPeakFP16 <= d.GEMMPeakFP32 {
+		t.Fatal("FP16 matrix peak must exceed FP32")
+	}
+	if d.MemBW != 1.23e12 {
+		t.Fatalf("HBM2 bandwidth = %v", d.MemBW)
+	}
+	if d.GEMMMaxEff <= 0 || d.GEMMMaxEff > 1 || d.MemMaxEff <= 0 || d.MemMaxEff > 1 {
+		t.Fatal("efficiencies must be fractions")
+	}
+}
+
+func TestGEMMRateSaturates(t *testing.T) {
+	d := MI100()
+	small := d.GEMMRate(opgraph.FP32, 1e6)
+	big := d.GEMMRate(opgraph.FP32, 1e12)
+	if small >= big {
+		t.Fatal("small GEMMs must achieve lower rates (Takeaway 6)")
+	}
+	max := d.GEMMPeakFP32 * d.GEMMMaxEff
+	if big > max {
+		t.Fatalf("rate %v exceeds efficiency ceiling %v", big, max)
+	}
+	if big < 0.99*max {
+		t.Fatalf("huge GEMM rate %v should approach ceiling %v", big, max)
+	}
+}
+
+func TestGEMMRateMonotoneProperty(t *testing.T) {
+	d := MI100()
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		for _, p := range []opgraph.Precision{opgraph.FP32, opgraph.Mixed} {
+			if d.GEMMRate(p, x) > d.GEMMRate(p, y)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemRateSaturates(t *testing.T) {
+	d := MI100()
+	if d.MemRate(1e3) >= d.MemRate(1e9) {
+		t.Fatal("small kernels must achieve lower bandwidth")
+	}
+	if d.MemRate(1e12) > d.MemBW*d.MemMaxEff {
+		t.Fatal("bandwidth exceeds ceiling")
+	}
+}
+
+func TestZeroWorkRates(t *testing.T) {
+	d := MI100()
+	if d.GEMMRate(opgraph.FP32, 0) <= 0 || d.MemRate(0) <= 0 {
+		t.Fatal("zero-work rates must stay positive (no division by zero downstream)")
+	}
+}
+
+func TestOpTimeRoofline(t *testing.T) {
+	d := MI100()
+	// A compute-heavy GEMM: time tracks FLOPs.
+	gemm := opgraph.Op{
+		GEMM:  &opgraph.GEMMShape{M: 4096, N: 4096, K: 4096, Batch: 1},
+		FLOPs: 2 * 4096 * 4096 * 4096,
+		Bytes: 3 * 4096 * 4096 * 4,
+	}
+	tc := d.OpTime(gemm, opgraph.FP32)
+	wantCompute := float64(gemm.FLOPs) / d.GEMMRate(opgraph.FP32, float64(gemm.FLOPs))
+	if got := tc - d.Launch; got < time.Duration(wantCompute*0.99e9) {
+		t.Fatalf("compute-bound op time %v below compute floor", got)
+	}
+
+	// A memory-heavy EW op: time tracks bytes.
+	ew := opgraph.Op{FLOPs: 1 << 20, Bytes: 1 << 30}
+	te := d.OpTime(ew, opgraph.FP32)
+	wantMem := float64(ew.Bytes) / d.MemRate(float64(ew.Bytes))
+	if got := te - d.Launch; got < time.Duration(wantMem*0.99e9) {
+		t.Fatalf("memory-bound op time %v below memory floor", got)
+	}
+}
+
+func TestOpTimeIncludesLaunchOverhead(t *testing.T) {
+	d := MI100()
+	tiny := opgraph.Op{FLOPs: 1, Bytes: 4}
+	if got := d.OpTime(tiny, opgraph.FP32); got < d.Launch {
+		t.Fatalf("tiny op time %v below launch overhead %v", got, d.Launch)
+	}
+}
+
+func TestMixedPrecisionGEMMFaster(t *testing.T) {
+	d := MI100()
+	op := opgraph.Op{
+		GEMM:  &opgraph.GEMMShape{M: 4096, N: 4096, K: 1024, Batch: 1},
+		FLOPs: 2 * 4096 * 4096 * 1024,
+		Bytes: 3 * 4096 * 4096 * 2,
+	}
+	if d.OpTime(op, opgraph.Mixed) >= d.OpTime(op, opgraph.FP32) {
+		t.Fatal("large FP16 GEMM must be faster than FP32")
+	}
+}
+
+func TestOptimizerMemEffSlowsLAMB(t *testing.T) {
+	d := MI100()
+	op := opgraph.Op{FLOPs: 1 << 20, Bytes: 1 << 28}
+	lamb := op
+	lamb.Class = opgraph.ClassLAMB
+	if d.OpTime(lamb, opgraph.FP32) <= d.OpTime(op, opgraph.FP32) {
+		t.Fatal("LAMB kernels must see reduced achieved bandwidth (Fig. 7)")
+	}
+}
+
+func TestScale(t *testing.T) {
+	d := MI100()
+	s := d.Scale(2, 3, 4)
+	if s.GEMMPeakFP32 != 2*d.GEMMPeakFP32 || s.VectorPeak != 2*d.VectorPeak {
+		t.Fatal("compute scaling wrong")
+	}
+	if s.MemBW != 3*d.MemBW {
+		t.Fatal("bandwidth scaling wrong")
+	}
+	if s.Interconnect != 4*d.Interconnect {
+		t.Fatal("link scaling wrong")
+	}
+	if s.Name == d.Name {
+		t.Fatal("scaled device must be distinguishable")
+	}
+}

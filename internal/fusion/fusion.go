@@ -1,0 +1,191 @@
+// Package fusion implements the paper's kernel-fusion studies
+// (Section 6.1, Fig. 12): vertical fusion of element-wise kernel chains
+// (LayerNorm, Adam), where the benefit is set by cross-kernel data reuse,
+// and horizontal fusion of the three attention linear GEMMs that share an
+// input matrix (Fig. 13).
+package fusion
+
+import (
+	"time"
+
+	"demystbert/internal/device"
+	"demystbert/internal/opgraph"
+)
+
+// Study compares a fused and an unfused execution of the same computation.
+type Study struct {
+	Name string
+
+	UnfusedKernels int
+	FusedKernels   int
+	UnfusedBytes   int64
+	FusedBytes     int64
+	UnfusedTime    time.Duration
+	FusedTime      time.Duration
+}
+
+// KernelRatio returns unfused/fused kernel count.
+func (s Study) KernelRatio() float64 {
+	return float64(s.UnfusedKernels) / float64(s.FusedKernels)
+}
+
+// TrafficRatio returns unfused/fused memory traffic.
+func (s Study) TrafficRatio() float64 {
+	return float64(s.UnfusedBytes) / float64(s.FusedBytes)
+}
+
+// Speedup returns unfused/fused runtime.
+func (s Study) Speedup() float64 {
+	return float64(s.UnfusedTime) / float64(s.FusedTime)
+}
+
+// ewTime models one element-wise kernel moving `bytes`.
+func ewTime(dev device.Device, bytes int64) time.Duration {
+	op := opgraph.Op{Bytes: bytes, ElemSize: 4, Repeat: 1}
+	return dev.OpTime(op, opgraph.FP32)
+}
+
+// optTime models one fused optimizer kernel: like LAMB's stages, its many
+// concurrent parameter/state streams achieve a lower fraction of peak
+// bandwidth (device.OptimizerMemEff).
+func optTime(dev device.Device, bytes int64) time.Duration {
+	op := opgraph.Op{Bytes: bytes, ElemSize: 4, Repeat: 1, Class: opgraph.ClassLAMB}
+	return dev.OpTime(op, opgraph.FP32)
+}
+
+// LayerNorm builds the Fig. 12a LayerNorm study over a rows×n activation:
+// unfused, the forward launches seven kernels (mean, center, square,
+// variance, rsqrt-normalize, gamma scale, beta add), each re-reading the
+// activation it consumes; fused, a single kernel reads the input once and
+// writes the output once. High producer-consumer reuse makes runtime and
+// traffic shrink almost proportionally to kernel count (the paper's
+// 6-8×).
+func LayerNorm(rows, n int, dev device.Device) Study {
+	elem := int64(rows) * int64(n) * 4
+
+	// Per-kernel activation passes (reads+writes of the full array;
+	// per-row statistics are negligible).
+	unfusedPasses := []int64{
+		1, // mean: read x
+		2, // center: read x, write t
+		2, // square: read t, write s
+		1, // variance: read s
+		2, // normalize: read t, write t
+		2, // gamma: read t, write t
+		2, // beta: read t, write y
+	}
+	s := Study{Name: "LayerNorm", FusedKernels: 1, FusedBytes: 2 * elem}
+	for _, p := range unfusedPasses {
+		s.UnfusedKernels++
+		s.UnfusedBytes += p * elem
+		s.UnfusedTime += ewTime(dev, p*elem)
+	}
+	s.FusedTime = ewTime(dev, s.FusedBytes)
+	return s
+}
+
+// Adam builds the Fig. 12a Adam study over the given parameter-tensor
+// sizes. Unfused, every elementary optimizer operation is its own kernel
+// per tensor; fused, a multi-tensor kernel covers `chunk` tensors per
+// launch with one pass over g, m, v, w. Because different tensors' state
+// is independent data, fusion collapses the kernel count by orders of
+// magnitude (~250×) while traffic and runtime shrink only ~6-8× — the
+// asymmetry the paper highlights.
+func Adam(tensorSizes []int, chunk int, dev device.Device) Study {
+	if chunk < 1 {
+		chunk = 1
+	}
+	// Unfused per-tensor passes, mirroring an eager PyTorch Adam with
+	// out-of-place temporaries (each elementary op reads its operands
+	// from and writes its result to memory).
+	unfusedPasses := []int64{
+		2, // m *= beta1
+		2, // t = (1-beta1)*g
+		3, // m += t
+		2, // v *= beta2
+		3, // t = g*g
+		2, // t *= (1-beta2)
+		3, // v += t
+		2, // t = v/bias2
+		2, // t = sqrt(t)+eps
+		2, // u = m/bias1
+		3, // u /= t
+		3, // w -= lr*u
+	}
+	s := Study{Name: "Adam"}
+	var total int64
+	for _, size := range tensorSizes {
+		elem := int64(size) * 4
+		total += elem
+		for _, p := range unfusedPasses {
+			s.UnfusedKernels++
+			s.UnfusedBytes += p * elem
+			s.UnfusedTime += ewTime(dev, p*elem)
+		}
+	}
+	// Fused: read g, m, v, w; write m, v, w — 7 passes, chunked launches
+	// with the multi-stream optimizer bandwidth penalty.
+	s.FusedBytes = 7 * total
+	s.FusedKernels = (len(tensorSizes) + chunk - 1) / chunk
+	perLaunch := s.FusedBytes / int64(s.FusedKernels)
+	for i := 0; i < s.FusedKernels; i++ {
+		s.FusedTime += optTime(dev, perLaunch)
+	}
+	return s
+}
+
+// QKV builds the Fig. 12b study: fusing the three attention linear-
+// transform GEMMs, which share the (tokens × dModel) input matrix, into
+// one GEMM against the concatenated weight matrix (Fig. 13). The fused
+// kernel reads the input once instead of three times and exposes 3× the
+// parallelism, which matters most when the individual GEMMs are too small
+// to fill the accelerator.
+//
+// forwardOnly selects the FWD GEMMs (3F vs 3S); otherwise the BWD
+// d-activation GEMMs are modeled.
+func QKV(tokens, dModel int, p opgraph.Precision, dev device.Device) Study {
+	es := int64(p.ElemSize())
+	d, t := int64(dModel), int64(tokens)
+
+	single := opgraph.GEMMShape{M: dModel, N: tokens, K: dModel, Batch: 1}
+	fused := opgraph.GEMMShape{M: 3 * dModel, N: tokens, K: dModel, Batch: 1}
+
+	mkOp := func(shape opgraph.GEMMShape, bytes int64) opgraph.Op {
+		return opgraph.Op{
+			GEMM:     &shape,
+			FLOPs:    shape.FLOPs(),
+			Bytes:    bytes,
+			ElemSize: int(es),
+			Repeat:   1,
+		}
+	}
+
+	// Unfused: each GEMM reads input (t·d), weights (d·d), writes (t·d).
+	perBytes := es * (t*d + d*d + t*d)
+	s := Study{Name: "QKV", UnfusedKernels: 3, FusedKernels: 1}
+	for i := 0; i < 3; i++ {
+		op := mkOp(single, perBytes)
+		s.UnfusedBytes += perBytes
+		s.UnfusedTime += dev.OpTime(op, p)
+	}
+	// Fused: input read once, 3·d·d weights, 3·t·d outputs.
+	s.FusedBytes = es * (t*d + 3*d*d + 3*t*d)
+	s.FusedTime = dev.OpTime(mkOp(fused, s.FusedBytes), p)
+	return s
+}
+
+// TransformerLayerNormStudy instantiates the LayerNorm study at a BERT
+// workload's activation geometry.
+func TransformerLayerNormStudy(w opgraph.Workload, dev device.Device) Study {
+	return LayerNorm(w.Tokens(), w.Cfg.DModel, dev)
+}
+
+// ModelAdamStudy instantiates the Adam study over every parameter tensor
+// of the workload's model, with the apex-style multi-tensor chunk size.
+func ModelAdamStudy(w opgraph.Workload, chunk int, dev device.Device) Study {
+	var sizes []int
+	for _, pt := range opgraph.ParamTensors(w.Cfg) {
+		sizes = append(sizes, pt.Size)
+	}
+	return Adam(sizes, chunk, dev)
+}

@@ -1,0 +1,103 @@
+package fusion
+
+import (
+	"testing"
+
+	"demystbert/internal/device"
+	"demystbert/internal/model"
+	"demystbert/internal/opgraph"
+)
+
+// TestLayerNormFusion asserts Fig. 12a's LayerNorm result: runtime and
+// memory traffic scale similarly to kernel count (6-8×) because of high
+// cross-kernel data reuse.
+func TestLayerNormFusion(t *testing.T) {
+	dev := device.MI100()
+	s := LayerNorm(4096, 1024, dev)
+	if s.UnfusedKernels != 7 || s.FusedKernels != 1 {
+		t.Fatalf("kernel counts %d/%d, want 7/1", s.UnfusedKernels, s.FusedKernels)
+	}
+	if r := s.TrafficRatio(); r < 5 || r > 8.5 {
+		t.Errorf("LN traffic ratio %.2f outside the paper's ~6-8x", r)
+	}
+	if r := s.Speedup(); r < 4.5 || r > 8.5 {
+		t.Errorf("LN speedup %.2f outside the paper's ~6-8x", r)
+	}
+}
+
+// TestAdamFusion asserts Fig. 12a's Adam asymmetry: kernel count drops by
+// orders of magnitude (~250×) while traffic and runtime drop only ~6-8×
+// (no cross-tensor reuse exists to exploit).
+func TestAdamFusion(t *testing.T) {
+	dev := device.MI100()
+	s := ModelAdamStudy(opgraph.Phase1(model.BERTLarge(), 32, opgraph.FP32), 320, dev)
+
+	if r := s.KernelRatio(); r < 100 || r > 5000 {
+		t.Errorf("Adam kernel ratio %.0f outside plausible multi-tensor range", r)
+	}
+	if r := s.TrafficRatio(); r < 2.5 || r > 8.5 {
+		t.Errorf("Adam traffic ratio %.2f outside the paper's ~6-8x", r)
+	}
+	if s.Speedup() >= s.KernelRatio()/4 {
+		t.Error("Adam runtime gain must be far below its kernel-count gain")
+	}
+	// The asymmetry claim: LayerNorm's traffic reduction tracks its
+	// kernel reduction; Adam's does not.
+	ln := LayerNorm(4096, 1024, dev)
+	lnGap := ln.KernelRatio() / ln.TrafficRatio()
+	adamGap := s.KernelRatio() / s.TrafficRatio()
+	if adamGap < 5*lnGap {
+		t.Errorf("Adam's kernel/traffic gap %.1f should dwarf LayerNorm's %.1f", adamGap, lnGap)
+	}
+}
+
+// TestQKVFusion asserts Fig. 12b: fusing the three linear GEMMs improves
+// performance, most strongly for small inputs (paper: up to 62%).
+func TestQKVFusion(t *testing.T) {
+	dev := device.MI100()
+
+	small := QKV(512, 1024, opgraph.FP32, dev)
+	if small.Speedup() < 1.3 {
+		t.Errorf("small-input QKV fusion speedup %.2f should be substantial", small.Speedup())
+	}
+	large := QKV(8192, 1024, opgraph.FP32, dev)
+	if large.Speedup() <= 1.0 {
+		t.Errorf("large-input QKV fusion speedup %.2f should still be positive", large.Speedup())
+	}
+	if small.Speedup() <= large.Speedup() {
+		t.Errorf("fusion impact must be higher for small inputs: %.2f vs %.2f",
+			small.Speedup(), large.Speedup())
+	}
+
+	// The fused kernel reads the shared input once.
+	if small.FusedBytes >= small.UnfusedBytes {
+		t.Error("fusion must reduce memory traffic")
+	}
+}
+
+func TestQKVFusionSmallerHiddenDim(t *testing.T) {
+	// "Its impact is higher when the input matrices are small (smaller
+	// token count or hidden dimension)".
+	dev := device.MI100()
+	narrow := QKV(2048, 512, opgraph.FP32, dev)
+	wide := QKV(2048, 2048, opgraph.FP32, dev)
+	if narrow.Speedup() <= wide.Speedup() {
+		t.Errorf("narrow-hidden fusion %.2f should beat wide-hidden %.2f",
+			narrow.Speedup(), wide.Speedup())
+	}
+}
+
+func TestAdamChunkOne(t *testing.T) {
+	s := Adam([]int{100, 200}, 0, device.MI100()) // chunk clamps to 1
+	if s.FusedKernels != 2 {
+		t.Fatalf("chunk=1 fused kernels = %d, want 2", s.FusedKernels)
+	}
+}
+
+func TestStudyRatiosConsistent(t *testing.T) {
+	s := Study{UnfusedKernels: 10, FusedKernels: 2, UnfusedBytes: 100, FusedBytes: 25,
+		UnfusedTime: 40, FusedTime: 10}
+	if s.KernelRatio() != 5 || s.TrafficRatio() != 4 || s.Speedup() != 4 {
+		t.Fatal("ratio helpers wrong")
+	}
+}

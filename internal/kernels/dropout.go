@@ -1,0 +1,34 @@
+package kernels
+
+import (
+	"fmt"
+
+	"demystbert/internal/tensor"
+)
+
+// DropoutMask fills mask with an inverted-dropout mask: each element is
+// 1/(1-p) with probability 1-p and 0 with probability p. Scaling at train
+// time keeps activation magnitudes unchanged so inference needs no
+// rescale.
+func DropoutMask(mask []float32, p float32, rng *tensor.RNG) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("kernels: dropout probability %v outside [0,1)", p))
+	}
+	keep := 1 / (1 - p)
+	// Mask generation is sequential: the RNG stream must be deterministic
+	// for reproducibility, which a parallel fill would break.
+	for i := range mask {
+		if rng.Float32() < p {
+			mask[i] = 0
+		} else {
+			mask[i] = keep
+		}
+	}
+}
+
+// DropoutApply computes dst = x * mask; it implements both the forward
+// pass and, applied to gradients, the backward pass (dropout's Jacobian is
+// the mask itself).
+func DropoutApply(dst, x, mask []float32) {
+	Mul(dst, x, mask)
+}

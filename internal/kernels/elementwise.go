@@ -1,0 +1,167 @@
+package kernels
+
+import "fmt"
+
+// The element-wise kernels correspond to the paper's non-GEMM operations
+// (Section 3.2.3): each performs at most a handful of operations per
+// element read, so they are memory-bandwidth bound on real accelerators.
+
+func checkSameLen(name string, xs ...[]float32) int {
+	n := len(xs[0])
+	for _, x := range xs[1:] {
+		if len(x) != n {
+			panic(fmt.Sprintf("kernels: %s length mismatch: %d vs %d", name, n, len(x)))
+		}
+	}
+	return n
+}
+
+// Add computes dst[i] = a[i] + b[i].
+func Add(dst, a, b []float32) {
+	checkSameLen("Add", dst, a, b)
+	parallelFor(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] + b[i]
+		}
+	})
+}
+
+// AccumulateInto computes dst[i] += a[i], the gradient-accumulation
+// primitive.
+func AccumulateInto(dst, a []float32) {
+	checkSameLen("AccumulateInto", dst, a)
+	parallelFor(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] += a[i]
+		}
+	})
+}
+
+// Mul computes dst[i] = a[i] * b[i].
+func Mul(dst, a, b []float32) {
+	checkSameLen("Mul", dst, a, b)
+	parallelFor(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] * b[i]
+		}
+	})
+}
+
+// Scale computes dst[i] = s * a[i]. This is the attention-score
+// normalization kernel (multiply by 1/sqrt(d_model/h)).
+func Scale(dst, a []float32, s float32) {
+	checkSameLen("Scale", dst, a)
+	parallelFor(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = s * a[i]
+		}
+	})
+}
+
+// AddBias adds a length-n bias vector to every row of an m×n matrix in
+// place.
+func AddBias(x []float32, bias []float32, m, n int) {
+	if len(x) != m*n || len(bias) != n {
+		panic(fmt.Sprintf("kernels: AddBias dims x=%d bias=%d m=%d n=%d", len(x), len(bias), m, n))
+	}
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x[i*n : (i+1)*n]
+			for j, b := range bias {
+				row[j] += b
+			}
+		}
+	})
+}
+
+// BiasGrad accumulates the column sums of an m×n gradient matrix into
+// dBias (the backward pass of AddBias).
+func BiasGrad(dBias []float32, dY []float32, m, n int) {
+	if len(dY) != m*n || len(dBias) != n {
+		panic(fmt.Sprintf("kernels: BiasGrad dims dY=%d dBias=%d m=%d n=%d", len(dY), len(dBias), m, n))
+	}
+	// Parallelize over columns to avoid write conflicts.
+	parallelFor(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s float32
+			for i := 0; i < m; i++ {
+				s += dY[i*n+j]
+			}
+			dBias[j] += s
+		}
+	})
+}
+
+// MaskAdd computes dst[i] = a[i] + mask[i]. BERT's attention mask is
+// additive: masked positions carry a large negative value so that softmax
+// sends them to zero.
+func MaskAdd(dst, a, mask []float32) {
+	checkSameLen("MaskAdd", dst, a, mask)
+	parallelFor(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] + mask[i]
+		}
+	})
+}
+
+// ScaleMaskSoftmaxFused applies scale, additive mask, and row softmax in a
+// single pass over batch rows of length n. It is the fused counterpart of
+// the Scale → MaskAdd → Softmax kernel sequence, used by the kernel-fusion
+// study (Section 6.1.1): one read and one write of the activation instead
+// of three of each.
+func ScaleMaskSoftmaxFused(dst, a, mask []float32, s float32, rows, n int) {
+	if len(a) != rows*n || len(dst) != rows*n || len(mask) != rows*n {
+		panic("kernels: ScaleMaskSoftmaxFused dims mismatch")
+	}
+	parallelFor(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			in := a[r*n : (r+1)*n]
+			mk := mask[r*n : (r+1)*n]
+			out := dst[r*n : (r+1)*n]
+			for i := range out {
+				out[i] = s*in[i] + mk[i]
+			}
+			softmaxRow(out, out)
+		}
+	})
+}
+
+// ScaleMaskSoftmaxAttention is the fused attention-score pipeline over a
+// [B·h, n, n] score tensor: scale, broadcast additive key mask
+// (keyMask: [B, n], may be nil), optional causal masking of future
+// positions (decoder-style attention, Section 2.3), and row softmax — all
+// in one pass, against the unfused four-kernel sequence.
+func ScaleMaskSoftmaxAttention(dst, scores []float32, keyMask []float32, s float32, causal bool, b, h, n int) {
+	rows := b * h * n
+	if len(scores) != rows*n || len(dst) != rows*n {
+		panic(fmt.Sprintf("kernels: ScaleMaskSoftmaxAttention dims scores=%d want %d", len(scores), rows*n))
+	}
+	if keyMask != nil && len(keyMask) != b*n {
+		panic(fmt.Sprintf("kernels: ScaleMaskSoftmaxAttention keyMask=%d want %d", len(keyMask), b*n))
+	}
+	const negInf = float32(-1e9)
+	parallelFor(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			q := r % n           // query position
+			batch := r / (h * n) // sequence index
+			in := scores[r*n : (r+1)*n]
+			out := dst[r*n : (r+1)*n]
+			if keyMask != nil {
+				mk := keyMask[batch*n : (batch+1)*n]
+				for i := range out {
+					out[i] = s*in[i] + mk[i]
+				}
+			} else {
+				for i := range out {
+					out[i] = s * in[i]
+				}
+			}
+			if causal {
+				for i := q + 1; i < n; i++ {
+					out[i] = negInf
+				}
+			}
+			softmaxRow(out, out)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSoftmax: for any row content, output must be a probability
+// distribution and never NaN for finite inputs.
+func FuzzSoftmax(f *testing.F) {
+	f.Add(float32(0), float32(1), float32(-1), float32(1000))
+	f.Fuzz(func(t *testing.T, a, b, c, d float32) {
+		in := []float32{a, b, c, d}
+		for _, v := range in {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return
+			}
+		}
+		out := make([]float32, 4)
+		Softmax(out, in, 1, 4)
+		var sum float64
+		for _, v := range out {
+			if math.IsNaN(float64(v)) || v < 0 {
+				t.Fatalf("softmax(%v) produced %v", in, out)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("softmax(%v) sums to %v", in, sum)
+		}
+	})
+}
+
+// FuzzGEMMTransposeConsistency: the four transpose paths must agree on
+// small random matrices built from the fuzz input.
+func FuzzGEMMTransposeConsistency(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(4), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, ma, na, ka uint8) {
+		m, n, k := int(ma%6)+1, int(na%6)+1, int(ka%6)+1
+		// Deterministic pseudo-random fill from the seed.
+		next := func() float32 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return float32(int32(seed>>33%2000)-1000) / 1000
+		}
+		a := make([]float32, m*k)
+		at := make([]float32, m*k) // A^T stored k×m
+		for i := 0; i < m; i++ {
+			for p := 0; p < k; p++ {
+				v := next()
+				a[i*k+p] = v
+				at[p*m+i] = v
+			}
+		}
+		b := make([]float32, k*n)
+		bt := make([]float32, k*n) // B^T stored n×k
+		for p := 0; p < k; p++ {
+			for j := 0; j < n; j++ {
+				v := next()
+				b[p*n+j] = v
+				bt[j*k+p] = v
+			}
+		}
+		ref := make([]float32, m*n)
+		GEMM(false, false, m, n, k, 1, a, b, 0, ref)
+		for _, tc := range []struct {
+			ta, tb bool
+			av, bv []float32
+		}{
+			{true, false, at, b},
+			{false, true, a, bt},
+			{true, true, at, bt},
+		} {
+			got := make([]float32, m*n)
+			GEMM(tc.ta, tc.tb, m, n, k, 1, tc.av, tc.bv, 0, got)
+			for i := range ref {
+				if math.Abs(float64(got[i]-ref[i])) > 1e-3 {
+					t.Fatalf("tA=%v tB=%v diverges at %d: %v vs %v", tc.ta, tc.tb, i, got[i], ref[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package kernels
+
+import "fmt"
+
+// GEMM computes C = alpha·op(A)·op(B) + beta·C for row-major matrices.
+//
+// op(A) is M×K: A is stored M×K when transA is false, K×M when true.
+// op(B) is K×N: B is stored K×N when transB is false, N×K when true.
+// C is always stored M×N.
+//
+// The kernel parallelizes across blocks of C rows and chooses an inner
+// loop order per transpose combination that keeps the innermost accesses
+// contiguous. It panics if a buffer is too small for its dimensions,
+// since a silent out-of-bounds read would corrupt training.
+func GEMM(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	checkGEMMArgs(transA, transB, m, n, k, a, b, c)
+	if m == 0 || n == 0 {
+		return
+	}
+
+	scaleC(c[:m*n], beta)
+	if k == 0 || alpha == 0 {
+		return
+	}
+
+	switch {
+	case !transA && !transB:
+		gemmNN(m, n, k, alpha, a, b, c)
+	case !transA && transB:
+		gemmNT(m, n, k, alpha, a, b, c)
+	case transA && !transB:
+		gemmTN(m, n, k, alpha, a, b, c)
+	default:
+		gemmTT(m, n, k, alpha, a, b, c)
+	}
+}
+
+func checkGEMMArgs(transA, transB bool, m, n, k int, a, b, c []float32) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("kernels: GEMM with negative dims m=%d n=%d k=%d", m, n, k))
+	}
+	if len(a) < m*k {
+		panic(fmt.Sprintf("kernels: GEMM A buffer %d < m*k=%d (transA=%v)", len(a), m*k, transA))
+	}
+	if len(b) < k*n {
+		panic(fmt.Sprintf("kernels: GEMM B buffer %d < k*n=%d (transB=%v)", len(b), k*n, transB))
+	}
+	if len(c) < m*n {
+		panic(fmt.Sprintf("kernels: GEMM C buffer %d < m*n=%d", len(c), m*n))
+	}
+}
+
+func scaleC(c []float32, beta float32) {
+	switch beta {
+	case 1:
+	case 0:
+		clear(c)
+	default:
+		for i := range c {
+			c[i] *= beta
+		}
+	}
+}
+
+// gemmNN: A is M×K, B is K×N. For each row of C, accumulate saxpy updates
+// over rows of B — the innermost loop streams contiguous B and C rows.
+func gemmNN(m, n, k int, alpha float32, a, b, c []float32) {
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			ai := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				s := alpha * ai[p]
+				if s == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				axpy(s, bp, ci)
+			}
+		}
+	})
+}
+
+// gemmNT: A is M×K, B is N×K. C[i][j] is a dot product of two contiguous
+// rows.
+func gemmNT(m, n, k int, alpha float32, a, b, c []float32) {
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				ci[j] += alpha * dot(ai, bj)
+			}
+		}
+	})
+}
+
+// gemmTN: A is K×M, B is K×N. For each k, rank-1 update of the C row block
+// — contiguous access of B and C rows.
+func gemmTN(m, n, k int, alpha float32, a, b, c []float32) {
+	parallelFor(m, func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			ap := a[p*m : (p+1)*m]
+			bp := b[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				s := alpha * ap[i]
+				if s == 0 {
+					continue
+				}
+				axpy(s, bp, c[i*n:(i+1)*n])
+			}
+		}
+	})
+}
+
+// gemmTT: A is K×M, B is N×K. C[i][j] = sum_p A[p][i]·B[j][p]; the B row is
+// contiguous, A is strided. TT does not occur in BERT's training graph but
+// is provided for completeness.
+func gemmTT(m, n, k int, alpha float32, a, b, c []float32) {
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				var sum float32
+				for p := 0; p < k; p++ {
+					sum += a[p*m+i] * bj[p]
+				}
+				ci[j] += alpha * sum
+			}
+		}
+	})
+}
+
+// dot returns the inner product of equal-length slices, unrolled 4-wide
+// with independent accumulators so the compiler can keep them in registers.
+func dot(x, y []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// axpy computes y += s·x for equal-length slices.
+func axpy(s float32, x, y []float32) {
+	_ = y[len(x)-1]
+	for i, v := range x {
+		y[i] += s * v
+	}
+}
+
+// BatchedGEMM performs batch independent GEMMs with identical dimensions,
+// the manifestation of BERT's attention operations (B·h parallel GEMMs
+// launched as a single kernel, Section 3.2.2). Matrix i of each operand
+// begins at offset i·stride of its buffer.
+func BatchedGEMM(batch int, transA, transB bool, m, n, k int, alpha float32, a []float32, strideA int, b []float32, strideB int, beta float32, c []float32, strideC int) {
+	if batch < 0 {
+		panic("kernels: BatchedGEMM with negative batch")
+	}
+	if batch == 0 {
+		return
+	}
+	if strideA < m*k || strideB < k*n || strideC < m*n {
+		panic(fmt.Sprintf("kernels: BatchedGEMM strides (%d,%d,%d) smaller than matrix sizes (%d,%d,%d)",
+			strideA, strideB, strideC, m*k, k*n, m*n))
+	}
+	// Parallelize across the batch; each per-matrix GEMM runs
+	// single-threaded to avoid nested spawning.
+	parallelFor(batch, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gemmSerial(transA, transB, m, n, k, alpha,
+				a[i*strideA:i*strideA+m*k],
+				b[i*strideB:i*strideB+k*n],
+				beta,
+				c[i*strideC:i*strideC+m*n])
+		}
+	})
+}
+
+// gemmSerial is GEMM without internal parallelism, used per batch element.
+func gemmSerial(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	checkGEMMArgs(transA, transB, m, n, k, a, b, c)
+	scaleC(c[:m*n], beta)
+	if k == 0 || alpha == 0 || m == 0 || n == 0 {
+		return
+	}
+	switch {
+	case !transA && !transB:
+		for i := 0; i < m; i++ {
+			ci := c[i*n : (i+1)*n]
+			ai := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				if s := alpha * ai[p]; s != 0 {
+					axpy(s, b[p*n:(p+1)*n], ci)
+				}
+			}
+		}
+	case !transA && transB:
+		for i := 0; i < m; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] += alpha * dot(ai, b[j*k:(j+1)*k])
+			}
+		}
+	case transA && !transB:
+		for p := 0; p < k; p++ {
+			ap := a[p*m : (p+1)*m]
+			bp := b[p*n : (p+1)*n]
+			for i := 0; i < m; i++ {
+				if s := alpha * ap[i]; s != 0 {
+					axpy(s, bp, c[i*n:(i+1)*n])
+				}
+			}
+		}
+	default:
+		for i := 0; i < m; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				var sum float32
+				for p := 0; p < k; p++ {
+					sum += a[p*m+i] * bj[p]
+				}
+				ci[j] += alpha * sum
+			}
+		}
+	}
+}

@@ -1,0 +1,627 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"demystbert/internal/tensor"
+)
+
+func TestAddMulScale(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	dst := make([]float32, 3)
+	Add(dst, a, b)
+	if dst[0] != 5 || dst[2] != 9 {
+		t.Fatalf("Add = %v", dst)
+	}
+	Mul(dst, a, b)
+	if dst[0] != 4 || dst[2] != 18 {
+		t.Fatalf("Mul = %v", dst)
+	}
+	Scale(dst, a, 3)
+	if dst[0] != 3 || dst[2] != 9 {
+		t.Fatalf("Scale = %v", dst)
+	}
+	AccumulateInto(dst, a)
+	if dst[0] != 4 || dst[2] != 12 {
+		t.Fatalf("AccumulateInto = %v", dst)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Add(make([]float32, 3), make([]float32, 3), make([]float32, 4))
+}
+
+func TestAddBiasAndGrad(t *testing.T) {
+	m, n := 3, 4
+	x := make([]float32, m*n)
+	bias := []float32{1, 2, 3, 4}
+	AddBias(x, bias, m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if x[i*n+j] != bias[j] {
+				t.Fatalf("AddBias[%d,%d] = %v", i, j, x[i*n+j])
+			}
+		}
+	}
+	dBias := make([]float32, n)
+	BiasGrad(dBias, x, m, n)
+	for j := 0; j < n; j++ {
+		if dBias[j] != float32(m)*bias[j] {
+			t.Fatalf("BiasGrad[%d] = %v, want %v", j, dBias[j], float32(m)*bias[j])
+		}
+	}
+	// BiasGrad must accumulate.
+	BiasGrad(dBias, x, m, n)
+	if dBias[0] != 2*float32(m)*bias[0] {
+		t.Fatal("BiasGrad must accumulate into dBias")
+	}
+}
+
+func TestMaskAdd(t *testing.T) {
+	dst := make([]float32, 2)
+	MaskAdd(dst, []float32{1, 2}, []float32{0, -1e9})
+	if dst[0] != 1 || dst[1] != -1e9+2 {
+		t.Fatalf("MaskAdd = %v", dst)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	r := tensor.NewRNG(1)
+	rows, n := 8, 16
+	x := randSlice(r, rows*n)
+	y := make([]float32, rows*n)
+	Softmax(y, x, rows, n)
+	for row := 0; row < rows; row++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			v := y[row*n+j]
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v outside [0,1]", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", row, s)
+		}
+	}
+}
+
+// Property: softmax is invariant to adding a constant to a row.
+func TestSoftmaxShiftInvarianceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 2 + r.Intn(16)
+		x := randSlice(r, n)
+		shifted := make([]float32, n)
+		c := r.Float32()*10 - 5
+		for i := range x {
+			shifted[i] = x[i] + c
+		}
+		y1 := make([]float32, n)
+		y2 := make([]float32, n)
+		Softmax(y1, x, 1, n)
+		Softmax(y2, shifted, 1, n)
+		return maxAbsDiff(y1, y2) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxLargeValuesStable(t *testing.T) {
+	y := make([]float32, 3)
+	Softmax(y, []float32{1000, 1000, 1000}, 1, 3)
+	for _, v := range y {
+		if math.Abs(float64(v)-1.0/3) > 1e-5 {
+			t.Fatalf("softmax of equal large values = %v", y)
+		}
+	}
+}
+
+// Property: SoftmaxGrad matches finite differences of the softmax.
+func TestSoftmaxGradFiniteDifference(t *testing.T) {
+	r := tensor.NewRNG(7)
+	n := 6
+	x := randSlice(r, n)
+	dY := randSlice(r, n)
+	y := make([]float32, n)
+	Softmax(y, x, 1, n)
+	dX := make([]float32, n)
+	SoftmaxGrad(dX, dY, y, 1, n)
+
+	const eps = 1e-3
+	for i := 0; i < n; i++ {
+		xp := append([]float32(nil), x...)
+		xm := append([]float32(nil), x...)
+		xp[i] += eps
+		xm[i] -= eps
+		yp := make([]float32, n)
+		ym := make([]float32, n)
+		Softmax(yp, xp, 1, n)
+		Softmax(ym, xm, 1, n)
+		var num float64
+		for j := 0; j < n; j++ {
+			num += float64(dY[j]) * float64(yp[j]-ym[j]) / (2 * eps)
+		}
+		if math.Abs(num-float64(dX[i])) > 1e-2 {
+			t.Fatalf("softmax grad[%d]: analytic %v vs numeric %v", i, dX[i], num)
+		}
+	}
+}
+
+func TestScaleMaskSoftmaxFusedMatchesUnfused(t *testing.T) {
+	r := tensor.NewRNG(9)
+	rows, n := 4, 8
+	x := randSlice(r, rows*n)
+	mask := make([]float32, rows*n)
+	for i := range mask {
+		if r.Float32() < 0.2 {
+			mask[i] = -1e9
+		}
+	}
+	const s = 0.125
+	fused := make([]float32, rows*n)
+	ScaleMaskSoftmaxFused(fused, x, mask, s, rows, n)
+
+	tmp := make([]float32, rows*n)
+	Scale(tmp, x, s)
+	MaskAdd(tmp, tmp, mask)
+	unfused := make([]float32, rows*n)
+	Softmax(unfused, tmp, rows, n)
+
+	if d := maxAbsDiff(fused, unfused); d > 1e-6 {
+		t.Fatalf("fused vs unfused diff %v", d)
+	}
+}
+
+func TestLayerNormForwardStatistics(t *testing.T) {
+	r := tensor.NewRNG(2)
+	rows, n := 5, 32
+	x := randSlice(r, rows*n)
+	gamma := make([]float32, n)
+	beta := make([]float32, n)
+	for i := range gamma {
+		gamma[i] = 1
+	}
+	y := make([]float32, rows*n)
+	mean := make([]float32, rows)
+	invStd := make([]float32, rows)
+	LayerNormForward(y, x, gamma, beta, mean, invStd, rows, n, 1e-12)
+	for row := 0; row < rows; row++ {
+		var s, sq float64
+		for j := 0; j < n; j++ {
+			v := float64(y[row*n+j])
+			s += v
+			sq += v * v
+		}
+		m := s / float64(n)
+		variance := sq/float64(n) - m*m
+		if math.Abs(m) > 1e-4 {
+			t.Fatalf("row %d mean %v, want ~0", row, m)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("row %d variance %v, want ~1", row, variance)
+		}
+	}
+}
+
+func TestLayerNormAffine(t *testing.T) {
+	rows, n := 1, 4
+	x := []float32{1, 2, 3, 4}
+	gamma := []float32{2, 2, 2, 2}
+	beta := []float32{10, 10, 10, 10}
+	y := make([]float32, n)
+	mean := make([]float32, rows)
+	invStd := make([]float32, rows)
+	LayerNormForward(y, x, gamma, beta, mean, invStd, rows, n, 1e-12)
+	var s float64
+	for _, v := range y {
+		s += float64(v)
+	}
+	// gamma scales a zero-mean signal; mean of y must equal mean of beta.
+	if math.Abs(s/float64(n)-10) > 1e-4 {
+		t.Fatalf("affine layer norm mean %v, want 10", s/float64(n))
+	}
+}
+
+func TestLayerNormBackwardFiniteDifference(t *testing.T) {
+	r := tensor.NewRNG(3)
+	rows, n := 3, 8
+	x := randSlice(r, rows*n)
+	gamma := randSlice(r, n)
+	beta := randSlice(r, n)
+	dY := randSlice(r, rows*n)
+
+	forward := func(xv, gv, bv []float32) []float32 {
+		y := make([]float32, rows*n)
+		mean := make([]float32, rows)
+		invStd := make([]float32, rows)
+		LayerNormForward(y, xv, gv, bv, mean, invStd, rows, n, 1e-5)
+		return y
+	}
+	loss := func(xv, gv, bv []float32) float64 {
+		y := forward(xv, gv, bv)
+		var l float64
+		for i := range y {
+			l += float64(dY[i]) * float64(y[i])
+		}
+		return l
+	}
+
+	y := make([]float32, rows*n)
+	mean := make([]float32, rows)
+	invStd := make([]float32, rows)
+	LayerNormForward(y, x, gamma, beta, mean, invStd, rows, n, 1e-5)
+	dX := make([]float32, rows*n)
+	dGamma := make([]float32, n)
+	dBeta := make([]float32, n)
+	LayerNormBackward(dX, dGamma, dBeta, dY, x, gamma, mean, invStd, rows, n)
+
+	const eps = 1e-2
+	check := func(name string, buf []float32, grad []float32, idx int) {
+		t.Helper()
+		orig := buf[idx]
+		buf[idx] = orig + eps
+		lp := loss(x, gamma, beta)
+		buf[idx] = orig - eps
+		lm := loss(x, gamma, beta)
+		buf[idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad[idx])) > 2e-2*math.Max(1, math.Abs(num)) {
+			t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, idx, grad[idx], num)
+		}
+	}
+	for _, idx := range []int{0, 5, rows*n - 1} {
+		check("dX", x, dX, idx)
+	}
+	for _, idx := range []int{0, n - 1} {
+		check("dGamma", gamma, dGamma, idx)
+		check("dBeta", beta, dBeta, idx)
+	}
+}
+
+func TestGeLUKnownValues(t *testing.T) {
+	x := []float32{0, 1, -1, 3}
+	y := make([]float32, len(x))
+	GeLUForward(y, x)
+	// GELU(0)=0; GELU(1)=0.841345; GELU(-1)=-0.158655; GELU(3)≈2.99595.
+	want := []float64{0, 0.8413447, -0.1586553, 2.9959502}
+	for i := range want {
+		if math.Abs(float64(y[i])-want[i]) > 1e-5 {
+			t.Fatalf("GeLU(%v) = %v, want %v", x[i], y[i], want[i])
+		}
+	}
+}
+
+func TestGeLUBackwardFiniteDifference(t *testing.T) {
+	r := tensor.NewRNG(4)
+	n := 32
+	x := randSlice(r, n)
+	dY := randSlice(r, n)
+	dX := make([]float32, n)
+	GeLUBackward(dX, dY, x)
+	const eps = 1e-3
+	for i := 0; i < n; i += 5 {
+		xp, xm := x[i]+eps, x[i]-eps
+		yp := make([]float32, 1)
+		ym := make([]float32, 1)
+		GeLUForward(yp, []float32{xp})
+		GeLUForward(ym, []float32{xm})
+		num := float64(dY[i]) * float64(yp[0]-ym[0]) / (2 * eps)
+		if math.Abs(num-float64(dX[i])) > 1e-3 {
+			t.Fatalf("GeLU grad[%d]: analytic %v vs numeric %v", i, dX[i], num)
+		}
+	}
+}
+
+// Property: GeLU(x) is bounded between min(0, x) and max(0, x).
+func TestGeLUBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		x := []float32{r.Float32()*20 - 10}
+		y := make([]float32, 1)
+		GeLUForward(y, x)
+		lo, hi := float32(math.Min(0, float64(x[0]))), float32(math.Max(0, float64(x[0])))
+		return y[0] >= lo-1e-6 && y[0] <= hi+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropoutMaskStatistics(t *testing.T) {
+	const n = 100000
+	const p = 0.3
+	mask := make([]float32, n)
+	DropoutMask(mask, p, tensor.NewRNG(5))
+	zeros := 0
+	keep := float32(1 / (1 - p))
+	for _, v := range mask {
+		switch v {
+		case 0:
+			zeros++
+		case keep:
+		default:
+			t.Fatalf("mask value %v is neither 0 nor %v", v, keep)
+		}
+	}
+	rate := float64(zeros) / n
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("drop rate %v, want ~%v", rate, p)
+	}
+}
+
+func TestDropoutMaskPreservesExpectation(t *testing.T) {
+	const n = 200000
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = 1
+	}
+	mask := make([]float32, n)
+	DropoutMask(mask, 0.1, tensor.NewRNG(6))
+	y := make([]float32, n)
+	DropoutApply(y, x, mask)
+	if mean := Sum(y) / n; math.Abs(mean-1) > 0.01 {
+		t.Fatalf("inverted dropout mean %v, want ~1", mean)
+	}
+}
+
+func TestDropoutZeroProbability(t *testing.T) {
+	mask := make([]float32, 10)
+	DropoutMask(mask, 0, tensor.NewRNG(7))
+	for _, v := range mask {
+		if v != 1 {
+			t.Fatalf("p=0 mask value %v, want 1", v)
+		}
+	}
+}
+
+func TestDropoutBadProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1 did not panic")
+		}
+	}()
+	DropoutMask(make([]float32, 4), 1, tensor.NewRNG(8))
+}
+
+func TestReductions(t *testing.T) {
+	x := []float32{3, 4}
+	if got := SumSquares(x); got != 25 {
+		t.Fatalf("SumSquares = %v", got)
+	}
+	if got := L2Norm(x); got != 5 {
+		t.Fatalf("L2Norm = %v", got)
+	}
+	if got := Sum(x); got != 7 {
+		t.Fatalf("Sum = %v", got)
+	}
+	if SumSquares(nil) != 0 || Sum(nil) != 0 {
+		t.Fatal("empty reductions must be 0")
+	}
+}
+
+func TestSumSquaresParallelMatchesSerial(t *testing.T) {
+	r := tensor.NewRNG(9)
+	x := randSlice(r, 100001)
+	par := SumSquares(x)
+	old := SetMaxWorkers(1)
+	ser := SumSquares(x)
+	SetMaxWorkers(old)
+	if math.Abs(par-ser) > 1e-6*math.Abs(ser) {
+		t.Fatalf("parallel %v vs serial %v", par, ser)
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	x := []float32{1, 2, 3, 4, 5, 6} // 2x3
+	y := make([]float32, 6)
+	Transpose2D(y, x, 2, 3)
+	want := []float32{1, 4, 2, 5, 3, 6}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Transpose2D = %v", y)
+		}
+	}
+}
+
+// Property: double transpose is identity.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, n := 1+r.Intn(10), 1+r.Intn(10)
+		x := randSlice(r, m*n)
+		y := make([]float32, m*n)
+		z := make([]float32, m*n)
+		Transpose2D(y, x, m, n)
+		Transpose2D(z, y, n, m)
+		return maxAbsDiff(x, z) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMergeHeadsRoundTrip(t *testing.T) {
+	r := tensor.NewRNG(10)
+	b, n, h, dHead := 2, 3, 4, 5
+	x := randSlice(r, b*n*h*dHead)
+	split := make([]float32, len(x))
+	merged := make([]float32, len(x))
+	SplitHeads(split, x, b, n, h, dHead)
+	MergeHeads(merged, split, b, n, h, dHead)
+	if maxAbsDiff(x, merged) != 0 {
+		t.Fatal("SplitHeads/MergeHeads round trip failed")
+	}
+}
+
+func TestSplitHeadsLayout(t *testing.T) {
+	// One batch, 2 tokens, 2 heads, dHead 2: token t, head h, elem j has
+	// input value 100*t + 10*h + j.
+	b, n, h, dHead := 1, 2, 2, 2
+	x := make([]float32, b*n*h*dHead)
+	for t0 := 0; t0 < n; t0++ {
+		for hh := 0; hh < h; hh++ {
+			for j := 0; j < dHead; j++ {
+				x[t0*h*dHead+hh*dHead+j] = float32(100*t0 + 10*hh + j)
+			}
+		}
+	}
+	out := make([]float32, len(x))
+	SplitHeads(out, x, b, n, h, dHead)
+	// Head 1, token 0, elem 1 lives at ((0*2+1)*2+0)*2+1.
+	if got := out[((0*2+1)*2+0)*2+1]; got != 11 {
+		t.Fatalf("SplitHeads layout: got %v, want 11", got)
+	}
+	// Head 0, token 1, elem 0 lives at ((0*2+0)*2+1)*2+0.
+	if got := out[((0*2+0)*2+1)*2+0]; got != 100 {
+		t.Fatalf("SplitHeads layout: got %v, want 100", got)
+	}
+}
+
+func TestCrossEntropyUniformLogits(t *testing.T) {
+	rows, classes := 2, 4
+	logits := make([]float32, rows*classes)
+	probs := make([]float32, rows*classes)
+	loss := CrossEntropyForward(probs, logits, []int{1, 3}, rows, classes)
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("uniform CE loss = %v, want ln4 = %v", loss, math.Log(4))
+	}
+}
+
+func TestCrossEntropyIgnoreIndex(t *testing.T) {
+	rows, classes := 3, 4
+	logits := make([]float32, rows*classes)
+	logits[0*classes+2] = 5 // confident correct prediction on row 0
+	probs := make([]float32, rows*classes)
+	lossAll := CrossEntropyForward(probs, logits, []int{2, 0, 0}, rows, classes)
+	lossIgnored := CrossEntropyForward(probs, logits, []int{2, IgnoreIndex, IgnoreIndex}, rows, classes)
+	if lossIgnored >= lossAll {
+		t.Fatalf("ignoring uniform rows should lower mean loss: %v vs %v", lossIgnored, lossAll)
+	}
+	dLogits := make([]float32, rows*classes)
+	CrossEntropyBackward(dLogits, probs, []int{2, IgnoreIndex, IgnoreIndex}, rows, classes)
+	for j := 0; j < classes; j++ {
+		if dLogits[1*classes+j] != 0 || dLogits[2*classes+j] != 0 {
+			t.Fatal("ignored rows must have zero gradient")
+		}
+	}
+}
+
+func TestCrossEntropyAllIgnored(t *testing.T) {
+	probs := make([]float32, 4)
+	if loss := CrossEntropyForward(probs, make([]float32, 4), []int{IgnoreIndex}, 1, 4); loss != 0 {
+		t.Fatalf("all-ignored loss = %v", loss)
+	}
+	d := []float32{1, 1, 1, 1}
+	CrossEntropyBackward(d, probs, []int{IgnoreIndex}, 1, 4)
+	for _, v := range d {
+		if v != 0 {
+			t.Fatal("all-ignored gradient must be zero")
+		}
+	}
+}
+
+func TestCrossEntropyGradFiniteDifference(t *testing.T) {
+	r := tensor.NewRNG(11)
+	rows, classes := 3, 5
+	logits := randSlice(r, rows*classes)
+	targets := []int{2, IgnoreIndex, 4}
+	probs := make([]float32, rows*classes)
+	CrossEntropyForward(probs, logits, targets, rows, classes)
+	dLogits := make([]float32, rows*classes)
+	CrossEntropyBackward(dLogits, probs, targets, rows, classes)
+
+	const eps = 1e-3
+	for i := 0; i < rows*classes; i += 3 {
+		orig := logits[i]
+		logits[i] = orig + eps
+		lp := CrossEntropyForward(probs, logits, targets, rows, classes)
+		logits[i] = orig - eps
+		lm := CrossEntropyForward(probs, logits, targets, rows, classes)
+		logits[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dLogits[i])) > 1e-3 {
+			t.Fatalf("CE grad[%d]: analytic %v vs numeric %v", i, dLogits[i], num)
+		}
+	}
+}
+
+func TestCrossEntropyBadTargetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range target did not panic")
+		}
+	}()
+	CrossEntropyForward(make([]float32, 4), make([]float32, 4), []int{7}, 1, 4)
+}
+
+func TestScaleMaskSoftmaxAttentionMatchesSequence(t *testing.T) {
+	r := tensor.NewRNG(21)
+	b, h, n := 2, 3, 8
+	rows := b * h * n
+	scores := randSlice(r, rows*n)
+	keyMask := make([]float32, b*n)
+	keyMask[n-1] = -1e9 // mask last key of sequence 0
+	const s = 0.25
+
+	for _, causal := range []bool{false, true} {
+		fused := make([]float32, rows*n)
+		ScaleMaskSoftmaxAttention(fused, scores, keyMask, s, causal, b, h, n)
+
+		// Unfused reference: scale, broadcast mask, causal, softmax.
+		tmp := make([]float32, rows*n)
+		Scale(tmp, scores, s)
+		for r0 := 0; r0 < rows; r0++ {
+			batch := r0 / (h * n)
+			q := r0 % n
+			row := tmp[r0*n : (r0+1)*n]
+			for k := 0; k < n; k++ {
+				row[k] += keyMask[batch*n+k]
+				if causal && k > q {
+					row[k] = -1e9
+				}
+			}
+		}
+		want := make([]float32, rows*n)
+		Softmax(want, tmp, rows, n)
+		if d := maxAbsDiff(fused, want); d > 1e-6 {
+			t.Fatalf("causal=%v: fused attention softmax differs by %v", causal, d)
+		}
+	}
+}
+
+func TestScaleMaskSoftmaxAttentionNilMask(t *testing.T) {
+	r := tensor.NewRNG(22)
+	b, h, n := 1, 2, 4
+	rows := b * h * n
+	scores := randSlice(r, rows*n)
+	out := make([]float32, rows*n)
+	ScaleMaskSoftmaxAttention(out, scores, nil, 1, false, b, h, n)
+	for row := 0; row < rows; row++ {
+		var sum float64
+		for k := 0; k < n; k++ {
+			sum += float64(out[row*n+k])
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", row, sum)
+		}
+	}
+}
+
+func TestScaleMaskSoftmaxAttentionBadDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ScaleMaskSoftmaxAttention(make([]float32, 8), make([]float32, 8), make([]float32, 3), 1, false, 1, 1, 2)
+}

@@ -1,0 +1,64 @@
+// Package kernels implements the compute kernels of the real-execution
+// BERT engine: general and batched matrix multiplication with all transpose
+// combinations, the element-wise operators (add, multiply, scale, bias,
+// mask, dropout), softmax, layer normalization, GeLU, reductions, layout
+// transforms, and softmax cross-entropy. Each kernel has an exact FLOP and
+// byte-traffic cost model (cost.go) so profiled runs report the same
+// algorithmic quantities the paper's characterization uses.
+//
+// Kernels operate on raw []float32 buffers with explicit dimensions; the
+// layer modules in internal/nn supply tensor-typed wrappers.
+package kernels
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds kernel parallelism. It defaults to GOMAXPROCS and can
+// be lowered (e.g. in tests) via SetMaxWorkers.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers sets the number of goroutines kernels may use and returns
+// the previous value. n < 1 is treated as 1.
+func SetMaxWorkers(n int) int {
+	old := maxWorkers
+	if n < 1 {
+		n = 1
+	}
+	maxWorkers = n
+	return old
+}
+
+// parallelFor splits [0, n) into roughly equal chunks, one per worker, and
+// runs body(lo, hi) concurrently. For small n it runs inline to avoid
+// goroutine overhead on tiny kernels.
+func parallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	// Inline threshold: launching goroutines for tiny loops costs more
+	// than it saves.
+	if workers == 1 || n < 4 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,70 @@
+package kernels
+
+import (
+	"math"
+	"sync"
+)
+
+// SumSquares returns sum(x[i]^2) in float64 for accuracy; it is the
+// building block of LAMB's global gradient norm, the reduction the paper
+// notes serializes the model update against the entire backprop
+// (Section 3.2.3).
+func SumSquares(x []float32) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4096 {
+		var s float64
+		for _, v := range x {
+			s += float64(v) * float64(v)
+		}
+		return s
+	}
+	partial := make([]float64, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for _, v := range x[lo:hi] {
+				s += float64(v) * float64(v)
+			}
+			partial[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float32) float64 {
+	return math.Sqrt(SumSquares(x))
+}
+
+// Sum returns the sum of x in float64.
+func Sum(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+package kernels
+
+import "fmt"
+
+// Transpose2D writes the transpose of the m×n matrix x into the n×m matrix
+// dst. The buffers must not alias.
+func Transpose2D(dst, x []float32, m, n int) {
+	if len(x) != m*n || len(dst) != m*n {
+		panic(fmt.Sprintf("kernels: Transpose2D dims x=%d dst=%d m=%d n=%d", len(x), len(dst), m, n))
+	}
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x[i*n : (i+1)*n]
+			for j, v := range row {
+				dst[j*m+i] = v
+			}
+		}
+	})
+}
+
+// SplitHeads reshapes a (B·n)×dModel projection output into the
+// (B·h)×n×dHead layout consumed by the batched attention GEMMs: matrix
+// (b·h + head) holds the n×dHead block for that head. This is the "split
+// to create the query, key and value vectors for each attention head"
+// step of Section 3.2.2.
+func SplitHeads(dst, x []float32, b, n, heads, dHead int) {
+	dModel := heads * dHead
+	if len(x) != b*n*dModel || len(dst) != b*n*dModel {
+		panic(fmt.Sprintf("kernels: SplitHeads dims x=%d dst=%d b=%d n=%d h=%d dHead=%d", len(x), len(dst), b, n, heads, dHead))
+	}
+	parallelFor(b*n, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			batch, seq := t/n, t%n
+			src := x[t*dModel : (t+1)*dModel]
+			for h := 0; h < heads; h++ {
+				dstOff := ((batch*heads+h)*n + seq) * dHead
+				copy(dst[dstOff:dstOff+dHead], src[h*dHead:(h+1)*dHead])
+			}
+		}
+	})
+}
+
+// MergeHeads is the inverse of SplitHeads: it concatenates per-head
+// (B·h)×n×dHead outputs back into (B·n)×dModel rows.
+func MergeHeads(dst, x []float32, b, n, heads, dHead int) {
+	dModel := heads * dHead
+	if len(x) != b*n*dModel || len(dst) != b*n*dModel {
+		panic(fmt.Sprintf("kernels: MergeHeads dims x=%d dst=%d b=%d n=%d h=%d dHead=%d", len(x), len(dst), b, n, heads, dHead))
+	}
+	parallelFor(b*n, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			batch, seq := t/n, t%n
+			out := dst[t*dModel : (t+1)*dModel]
+			for h := 0; h < heads; h++ {
+				srcOff := ((batch*heads+h)*n + seq) * dHead
+				copy(out[h*dHead:(h+1)*dHead], x[srcOff:srcOff+dHead])
+			}
+		}
+	})
+}

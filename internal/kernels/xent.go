@@ -1,0 +1,75 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// CrossEntropyForward computes mean softmax cross-entropy loss over rows
+// of a rows×classes logit matrix against integer targets, writing the
+// softmax probabilities to probs for reuse by the backward pass. Rows
+// whose target is IgnoreIndex contribute neither loss nor gradient —
+// BERT's masked-LM loss only scores the ~15% masked positions.
+func CrossEntropyForward(probs, logits []float32, targets []int, rows, classes int) float64 {
+	if len(logits) != rows*classes || len(probs) != rows*classes || len(targets) != rows {
+		panic(fmt.Sprintf("kernels: CrossEntropyForward dims rows=%d classes=%d", rows, classes))
+	}
+	Softmax(probs, logits, rows, classes)
+	var loss float64
+	count := 0
+	for r, t := range targets {
+		if t == IgnoreIndex {
+			continue
+		}
+		if t < 0 || t >= classes {
+			panic(fmt.Sprintf("kernels: target %d out of range [0,%d)", t, classes))
+		}
+		p := float64(probs[r*classes+t])
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		loss -= math.Log(p)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return loss / float64(count)
+}
+
+// IgnoreIndex marks a target position that is excluded from the loss.
+const IgnoreIndex = -1
+
+// CrossEntropyBackward computes the logit gradient of the mean
+// cross-entropy loss: dLogits[r,c] = (probs[r,c] - 1{c==target_r}) / count
+// for scored rows and zero for ignored rows.
+func CrossEntropyBackward(dLogits, probs []float32, targets []int, rows, classes int) {
+	if len(dLogits) != rows*classes || len(probs) != rows*classes || len(targets) != rows {
+		panic(fmt.Sprintf("kernels: CrossEntropyBackward dims rows=%d classes=%d", rows, classes))
+	}
+	count := 0
+	for _, t := range targets {
+		if t != IgnoreIndex {
+			count++
+		}
+	}
+	if count == 0 {
+		clear(dLogits)
+		return
+	}
+	inv := 1 / float32(count)
+	parallelFor(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			out := dLogits[r*classes : (r+1)*classes]
+			if targets[r] == IgnoreIndex {
+				clear(out)
+				continue
+			}
+			pr := probs[r*classes : (r+1)*classes]
+			for c := range out {
+				out[c] = pr[c] * inv
+			}
+			out[targets[r]] -= inv
+		}
+	})
+}

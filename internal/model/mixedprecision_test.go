@@ -1,0 +1,124 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"demystbert/internal/nn"
+	"demystbert/internal/optim"
+	"demystbert/internal/tensor"
+)
+
+// TestMixedPrecisionQuantizesActivations verifies reduced precision is
+// numerically real: under MP, every layer output is exactly representable
+// in binary16.
+func TestMixedPrecisionQuantizesActivations(t *testing.T) {
+	cfg := Tiny()
+	cfg.DropProb = 0
+	m, _ := New(cfg, 1)
+	ctx := nn.NewCtx(1)
+	ctx.MixedPrecision = true
+	b := tinyBatch(cfg, 2, 16, 1)
+	m.Forward(ctx, b)
+
+	// The retained encoder output (LayerNorm output of the last layer)
+	// must consist solely of F16-representable values.
+	seq := m.seqOut
+	for i, v := range seq.Data() {
+		if q := tensor.ToF16(v).Float32(); q != v {
+			t.Fatalf("MP activation[%d] = %v is not F16-representable (quantizes to %v)", i, v, q)
+		}
+	}
+}
+
+func TestMixedPrecisionDiffersFromFP32(t *testing.T) {
+	cfg := Tiny()
+	cfg.DropProb = 0
+	run := func(mp bool) float64 {
+		m, _ := New(cfg, 1)
+		ctx := nn.NewCtx(1)
+		ctx.MixedPrecision = mp
+		return m.Forward(ctx, tinyBatch(cfg, 2, 16, 1))
+	}
+	fp32, fp16 := run(false), run(true)
+	if fp32 == fp16 {
+		t.Fatal("MP must change the numerics (quantized activations)")
+	}
+	// But not by much: half precision keeps ~3 decimal digits.
+	if rel := math.Abs(fp32-fp16) / fp32; rel > 0.02 {
+		t.Fatalf("MP loss deviates %.2f%% from FP32; quantization too destructive", 100*rel)
+	}
+}
+
+// TestMixedPrecisionTrainingWithLossScaler runs the full authentic MP
+// recipe: FP16 activation storage, scaled loss gradients, unscale-and-
+// check, FP32 LAMB step — and the loss must still fall.
+func TestMixedPrecisionTrainingWithLossScaler(t *testing.T) {
+	cfg := Tiny()
+	cfg.DropProb = 0
+	m, _ := New(cfg, 1)
+	ctx := nn.NewCtx(1)
+	ctx.MixedPrecision = true
+	b := tinyBatch(cfg, 2, 16, 1)
+
+	scaler := optim.NewDynamicLossScaler()
+	opt := optim.NewLAMB(0.01)
+
+	first := math.Inf(1)
+	last := 0.0
+	for i := 0; i < 10; i++ {
+		scaler.Arm(ctx)
+		loss := m.Step(ctx, b)
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+		if scaler.UnscaleAndCheck(m.Params()) {
+			opt.Step(ctx, m.Params())
+		}
+		m.ZeroGrads()
+	}
+	if last >= first {
+		t.Fatalf("MP+scaler training loss did not fall: %v -> %v", first, last)
+	}
+	if scaler.Skipped > 2 {
+		t.Fatalf("scaler skipped %d of 10 steps; scale management broken", scaler.Skipped)
+	}
+}
+
+// TestLossScaleCancelsExactly: scaling the loss gradient by S and
+// unscaling by 1/S must reproduce the unscaled gradients (floats: a power
+// of two scale is exact).
+func TestLossScaleCancelsExactly(t *testing.T) {
+	cfg := Tiny()
+	cfg.DropProb = 0
+	b := tinyBatch(cfg, 2, 16, 1)
+
+	grads := func(scale float32) []float32 {
+		m, _ := New(cfg, 5)
+		ctx := nn.NewCtx(1)
+		ctx.LossScale = scale
+		m.Step(ctx, b)
+		if scale != 0 && scale != 1 {
+			inv := 1 / scale
+			for _, p := range m.Params() {
+				g := p.Grad.Data()
+				for i := range g {
+					g[i] *= inv
+				}
+			}
+		}
+		var out []float32
+		for _, p := range m.Params() {
+			out = append(out, p.Grad.Data()...)
+		}
+		return out
+	}
+	plain := grads(1)
+	scaled := grads(1 << 12)
+	for i := range plain {
+		if math.Abs(float64(plain[i]-scaled[i])) > 1e-7*math.Max(1, math.Abs(float64(plain[i]))) {
+			t.Fatalf("grad[%d]: unscaled %v vs scaled-then-unscaled %v", i, plain[i], scaled[i])
+		}
+	}
+}

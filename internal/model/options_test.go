@@ -1,0 +1,132 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"demystbert/internal/nn"
+)
+
+func TestGPTMediumConfig(t *testing.T) {
+	cfg := GPTMedium()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Causal {
+		t.Fatal("GPT config must be causal")
+	}
+	// GPT-2 Medium is ~355M parameters.
+	if p := cfg.ParamCount(); p < 340e6 || p > 380e6 {
+		t.Fatalf("GPT-Medium parameter count %d outside ~355M", p)
+	}
+}
+
+func TestCausalModelTrains(t *testing.T) {
+	cfg := Tiny()
+	cfg.Causal = true
+	cfg.DropProb = 0
+	m, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := nn.NewCtx(1)
+	b := tinyBatch(cfg, 2, 16, 1)
+	first := m.Step(ctx, b)
+	for i := 0; i < 8; i++ {
+		for _, p := range m.Params() {
+			v, g := p.Value.Data(), p.Grad.Data()
+			for j := range v {
+				v[j] -= 0.05 * g[j]
+			}
+			p.ZeroGrad()
+		}
+		m.Step(ctx, b)
+	}
+	m.ZeroGrads()
+	last := m.Forward(ctx, b)
+	if last >= first {
+		t.Fatalf("causal model loss did not drop: %v -> %v", first, last)
+	}
+}
+
+func TestFusedAttentionModelMatchesUnfused(t *testing.T) {
+	mk := func(fused bool) float64 {
+		cfg := Tiny()
+		cfg.DropProb = 0
+		cfg.FusedAttention = fused
+		m, _ := New(cfg, 9)
+		ctx := nn.NewCtx(1)
+		ctx.Train = false
+		return m.Forward(ctx, tinyBatch(cfg, 2, 16, 1))
+	}
+	lu, lf := mk(false), mk(true)
+	if math.Abs(lu-lf) > 1e-5 {
+		t.Fatalf("fused attention changed the loss: %v vs %v", lu, lf)
+	}
+}
+
+func TestFusedAttentionReducesModelKernels(t *testing.T) {
+	run := func(fused bool) int {
+		cfg := Tiny()
+		cfg.FusedAttention = fused
+		m, _ := New(cfg, 9)
+		ctx := nn.NewCtx(1)
+		m.Forward(ctx, tinyBatch(cfg, 2, 16, 1))
+		return ctx.Prof.KernelCount()
+	}
+	if kf, ku := run(true), run(false); kf >= ku {
+		t.Fatalf("fused attention must reduce kernel count: %d vs %d", kf, ku)
+	}
+}
+
+func TestGradientAccumulation(t *testing.T) {
+	// Accumulating gradients over K identical micro-batches then scaling
+	// by 1/K must equal one micro-batch's gradients exactly.
+	cfg := Tiny()
+	cfg.DropProb = 0
+	b := tinyBatch(cfg, 2, 16, 1)
+
+	single, _ := New(cfg, 11)
+	ctxS := nn.NewCtx(1)
+	single.Step(ctxS, b)
+
+	accum, _ := New(cfg, 11)
+	ctxA := nn.NewCtx(1)
+	const k = 3
+	for i := 0; i < k; i++ {
+		accum.Step(ctxA, b)
+	}
+	accum.ScaleGrads(1.0 / k)
+
+	sp, ap := single.Params(), accum.Params()
+	for i := range sp {
+		sg, ag := sp[i].Grad.Data(), ap[i].Grad.Data()
+		for j := range sg {
+			if math.Abs(float64(sg[j]-ag[j])) > 1e-5*math.Max(1, math.Abs(float64(sg[j]))) {
+				t.Fatalf("param %s grad[%d]: single %v vs accumulated/K %v", sp[i].Name, j, sg[j], ag[j])
+			}
+		}
+	}
+}
+
+func TestGPTCheckpointRoundTrip(t *testing.T) {
+	cfg := Tiny()
+	cfg.Causal = true
+	cfg.FusedAttention = true
+	m, _ := New(cfg, 13)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Config.Causal || !loaded.Config.FusedAttention {
+		t.Fatal("checkpoint lost causal/fused-attention flags")
+	}
+	if !loaded.Layers[0].Attn.Causal {
+		t.Fatal("loaded layers are not causal")
+	}
+}

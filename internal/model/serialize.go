@@ -1,0 +1,169 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint format: a little-endian binary stream with a magic header,
+// the model configuration, and every parameter tensor (name, shape,
+// float32 data) in Params() order. The tied MLM decoder weight is stored
+// once, under the embedding.
+const (
+	checkpointMagic   = 0x42455254 // "BERT"
+	checkpointVersion = 1
+)
+
+// Save writes the model's configuration and parameters to w.
+func (m *BERT) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, m.Config); err != nil {
+		return err
+	}
+	for _, p := range m.Params() {
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, int32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, int32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.Value.Data() {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load constructs a model from a checkpoint written by Save. The
+// checkpoint's configuration takes precedence; parameter names and shapes
+// are verified against the freshly built model.
+func Load(r io.Reader) (*BERT, error) {
+	br := bufio.NewReader(r)
+	cfg, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	m, err := New(cfg, 0)
+	if err != nil {
+		return nil, fmt.Errorf("model: checkpoint config invalid: %w", err)
+	}
+	for _, p := range m.Params() {
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("model: reading parameter name: %w", err)
+		}
+		if name != p.Name {
+			return nil, fmt.Errorf("model: checkpoint parameter %q, want %q (order mismatch)", name, p.Name)
+		}
+		var rank int32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return nil, err
+		}
+		if int(rank) != p.Value.Rank() {
+			return nil, fmt.Errorf("model: %s rank %d, want %d", name, rank, p.Value.Rank())
+		}
+		for i := 0; i < int(rank); i++ {
+			var d int32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return nil, err
+			}
+			if int(d) != p.Value.Dim(i) {
+				return nil, fmt.Errorf("model: %s dim %d is %d, want %d", name, i, d, p.Value.Dim(i))
+			}
+		}
+		data := p.Value.Data()
+		for i := range data {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("model: reading %s data: %w", name, err)
+			}
+			data[i] = math.Float32frombits(bits)
+		}
+	}
+	return m, nil
+}
+
+func writeHeader(w io.Writer, cfg Config) error {
+	var flags int32
+	if cfg.Causal {
+		flags |= 1
+	}
+	if cfg.FusedAttention {
+		flags |= 2
+	}
+	fields := []int32{
+		checkpointMagic, checkpointVersion,
+		int32(cfg.Vocab), int32(cfg.MaxPos), int32(cfg.NumLayers),
+		int32(cfg.DModel), int32(cfg.Heads), int32(cfg.DFF), flags,
+	}
+	for _, f := range fields {
+		if err := binary.Write(w, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, math.Float32bits(cfg.DropProb))
+}
+
+func readHeader(r io.Reader) (Config, error) {
+	var fields [9]int32
+	for i := range fields {
+		if err := binary.Read(r, binary.LittleEndian, &fields[i]); err != nil {
+			return Config{}, fmt.Errorf("model: reading checkpoint header: %w", err)
+		}
+	}
+	if fields[0] != checkpointMagic {
+		return Config{}, fmt.Errorf("model: not a checkpoint (magic %#x)", fields[0])
+	}
+	if fields[1] != checkpointVersion {
+		return Config{}, fmt.Errorf("model: unsupported checkpoint version %d", fields[1])
+	}
+	var dropBits uint32
+	if err := binary.Read(r, binary.LittleEndian, &dropBits); err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Vocab:          int(fields[2]),
+		MaxPos:         int(fields[3]),
+		NumLayers:      int(fields[4]),
+		DModel:         int(fields[5]),
+		Heads:          int(fields[6]),
+		DFF:            int(fields[7]),
+		Causal:         fields[8]&1 != 0,
+		FusedAttention: fields[8]&2 != 0,
+		DropProb:       math.Float32frombits(dropBits),
+	}, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n < 0 || n > 1<<16 {
+		return "", fmt.Errorf("model: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

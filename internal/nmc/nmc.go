@@ -1,0 +1,142 @@
+// Package nmc implements the paper's near-memory-compute study
+// (Section 6.2.1): a DRAM model with ALUs at each bank, to which the
+// memory-intensive LAMB optimizer is offloaded while GEMMs stay on the
+// GPU. Placing an ALU per bank exposes the aggregate bank-level bandwidth
+// — several times the external interface — to the element-wise optimizer
+// kernels, without the cost of per-subarray ALUs.
+package nmc
+
+import (
+	"time"
+
+	"demystbert/internal/device"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/perfmodel"
+)
+
+// DRAM describes the memory geometry of the NMC design point: ALUs at
+// each bank, commands broadcast from the host (the balanced design the
+// paper adopts from recent vendor proposals).
+type DRAM struct {
+	// Stacks × ChannelsPerStack × BanksPerChannel banks in total.
+	Stacks           int
+	ChannelsPerStack int
+	BanksPerChannel  int
+	// BankBandwidth is the sustainable per-bank access rate for the
+	// in-bank ALU (bytes/s), set by DRAM core timing (tCCD-limited
+	// column accesses), not by the external interface.
+	BankBandwidth float64
+	// CommandOverhead is the host-side cost of broadcasting one
+	// operation's commands to all banks.
+	CommandOverhead time.Duration
+}
+
+// HBM2Banks returns the geometry of an MI100-class 4-stack HBM2 system:
+// 512 banks whose aggregate internal bandwidth is ~3.8× the 1.23 TB/s
+// external interface, matching the bank-level PIM designs of the paper's
+// references [46, 53, 54].
+func HBM2Banks() DRAM {
+	return DRAM{
+		Stacks:           4,
+		ChannelsPerStack: 8,
+		BanksPerChannel:  16,
+		BankBandwidth:    9.8e9,
+		CommandOverhead:  5 * time.Microsecond,
+	}
+}
+
+// Banks returns the total bank (and ALU) count.
+func (d DRAM) Banks() int {
+	return d.Stacks * d.ChannelsPerStack * d.BanksPerChannel
+}
+
+// AggregateBandwidth returns the bank-level bandwidth available to NMC
+// ALUs when all banks operate in parallel.
+func (d DRAM) AggregateBandwidth() float64 {
+	return float64(d.Banks()) * d.BankBandwidth
+}
+
+// System couples a host accelerator with an NMC-capable memory.
+type System struct {
+	Host device.Device
+	Mem  DRAM
+}
+
+// NewSystem returns the paper's evaluation system: an MI100-class GPU
+// whose HBM2 banks host NMC ALUs.
+func NewSystem() System {
+	return System{Host: device.MI100(), Mem: HBM2Banks()}
+}
+
+// NMCTime models executing a memory-intensive operation of the given byte
+// traffic on the bank-level ALUs: data is distributed so each ALU works
+// on its own bank (the paper's data-placement assumption from [3]).
+func (s System) NMCTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return s.Mem.CommandOverhead
+	}
+	t := float64(bytes) / s.Mem.AggregateBandwidth()
+	return time.Duration(t*1e9)*time.Nanosecond + s.Mem.CommandOverhead
+}
+
+// OptimisticGPUTime is the baseline the paper compares against: LAMB's
+// execution reduced to its minimal data reads and writes at the full
+// external bandwidth — a bound no real GPU kernel reaches.
+func (s System) OptimisticGPUTime(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) / s.Host.MemBW * 1e9)
+}
+
+// LAMBStudy is the outcome of offloading a workload's LAMB update to NMC.
+type LAMBStudy struct {
+	Workload opgraph.Workload
+
+	// LAMBBytes is the optimizer's algorithmic traffic.
+	LAMBBytes int64
+	// GPUModeled is LAMB's time in the calibrated device model;
+	// GPUOptimistic is the paper's idealized pure-read/write bound;
+	// NMC is the bank-level execution time.
+	GPUModeled    time.Duration
+	GPUOptimistic time.Duration
+	NMC           time.Duration
+
+	// BaseTotal and NMCTotal are full-iteration times with LAMB on the
+	// GPU versus on the NMC units.
+	BaseTotal time.Duration
+	NMCTotal  time.Duration
+}
+
+// SpeedupVsOptimistic returns NMC's speedup over the optimistic GPU bound
+// (the paper's 3.8×).
+func (st LAMBStudy) SpeedupVsOptimistic() float64 {
+	return float64(st.GPUOptimistic) / float64(st.NMC)
+}
+
+// EndToEndImprovement returns the whole-iteration improvement from the
+// offload (the paper's 5-22%).
+func (st LAMBStudy) EndToEndImprovement() float64 {
+	return float64(st.BaseTotal)/float64(st.NMCTotal) - 1
+}
+
+// StudyLAMB offloads the workload's LAMB phase to the NMC units and
+// reports per-phase and end-to-end effects.
+func (s System) StudyLAMB(w opgraph.Workload) LAMBStudy {
+	g := opgraph.Build(w)
+	r := perfmodel.Run(g, s.Host)
+
+	st := LAMBStudy{Workload: w, BaseTotal: r.Total}
+	var lambModeled time.Duration
+	var nmcTime time.Duration
+	for _, ot := range r.Ops {
+		if ot.Op.Class != opgraph.ClassLAMB {
+			continue
+		}
+		st.LAMBBytes += ot.Op.TotalBytes()
+		lambModeled += ot.Total
+		nmcTime += time.Duration(ot.Op.Repeat) * s.NMCTime(ot.Op.Bytes)
+	}
+	st.GPUModeled = lambModeled
+	st.GPUOptimistic = s.OptimisticGPUTime(st.LAMBBytes)
+	st.NMC = nmcTime
+	st.NMCTotal = r.Total - lambModeled + nmcTime
+	return st
+}

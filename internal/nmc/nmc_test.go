@@ -1,0 +1,107 @@
+package nmc
+
+import (
+	"testing"
+
+	"demystbert/internal/model"
+	"demystbert/internal/opgraph"
+)
+
+func TestDRAMGeometry(t *testing.T) {
+	d := HBM2Banks()
+	if d.Banks() != 512 {
+		t.Fatalf("banks = %d, want 512", d.Banks())
+	}
+	agg := d.AggregateBandwidth()
+	if agg < 3e12 || agg > 6e12 {
+		t.Fatalf("aggregate bank bandwidth %.2e outside the bank-PIM regime", agg)
+	}
+}
+
+// TestLAMBSpeedup asserts the paper's headline: NMC accelerates LAMB by
+// ~3.8x over the optimistic GPU bound.
+func TestLAMBSpeedup(t *testing.T) {
+	s := NewSystem()
+	st := s.StudyLAMB(opgraph.Phase1(model.BERTLarge(), 32, opgraph.FP32))
+	if sp := st.SpeedupVsOptimistic(); sp < 3.2 || sp > 4.4 {
+		t.Errorf("NMC speedup over optimistic GPU %.2f outside ~3.8x band", sp)
+	}
+	if st.NMC >= st.GPUModeled {
+		t.Error("NMC LAMB must beat the modeled GPU execution")
+	}
+	if st.GPUOptimistic >= st.GPUModeled {
+		t.Error("the optimistic GPU bound must undercut the modeled GPU time")
+	}
+}
+
+// TestEndToEnd asserts the paper's 5-22% overall improvement across its
+// workload configurations.
+func TestEndToEnd(t *testing.T) {
+	s := NewSystem()
+	cfg := model.BERTLarge()
+	var lo, hi float64 = 1, 0
+	for _, w := range []opgraph.Workload{
+		opgraph.Phase1(cfg, 32, opgraph.FP32),
+		opgraph.Phase1(cfg, 4, opgraph.FP32),
+		opgraph.Phase2(cfg, 4, opgraph.FP32),
+		opgraph.Phase1(cfg, 32, opgraph.Mixed),
+		opgraph.Phase2(cfg, 4, opgraph.Mixed),
+	} {
+		st := s.StudyLAMB(w)
+		imp := st.EndToEndImprovement()
+		if imp < lo {
+			lo = imp
+		}
+		if imp > hi {
+			hi = imp
+		}
+		if imp <= 0 {
+			t.Errorf("%s: NMC offload must improve end-to-end time, got %.3f", w.Name, imp)
+		}
+	}
+	// Paper: 5-22%; tolerate a modestly wider envelope.
+	if lo < 0.04 || lo > 0.12 {
+		t.Errorf("minimum improvement %.3f should be near the paper's 5%%", lo)
+	}
+	if hi < 0.15 || hi > 0.35 {
+		t.Errorf("maximum improvement %.3f should be near the paper's 22%%", hi)
+	}
+}
+
+// Larger models benefit more: LAMB traffic grows quadratically with layer
+// width ("higher for larger Transformers").
+func TestLargerModelsBenefitMore(t *testing.T) {
+	s := NewSystem()
+	small := s.StudyLAMB(opgraph.Phase1(model.BERTLarge(), 32, opgraph.FP32))
+	big := s.StudyLAMB(opgraph.Phase1(model.MegatronBERT(), 32, opgraph.FP32))
+	if big.LAMBBytes <= small.LAMBBytes {
+		t.Fatal("larger model must move more optimizer traffic")
+	}
+	if big.EndToEndImprovement() <= small.EndToEndImprovement() {
+		t.Errorf("Megatron-size model should benefit more: %.3f vs %.3f",
+			big.EndToEndImprovement(), small.EndToEndImprovement())
+	}
+}
+
+func TestNMCTimeEdgeCases(t *testing.T) {
+	s := NewSystem()
+	if s.NMCTime(0) != s.Mem.CommandOverhead {
+		t.Fatal("zero-byte NMC op costs only command overhead")
+	}
+	if s.NMCTime(1<<30) <= s.NMCTime(1<<20) {
+		t.Fatal("NMC time must grow with bytes")
+	}
+}
+
+func TestMixedPrecisionUnaffectedLAMBBytes(t *testing.T) {
+	s := NewSystem()
+	fp32 := s.StudyLAMB(opgraph.Phase1(model.BERTLarge(), 32, opgraph.FP32))
+	mp := s.StudyLAMB(opgraph.Phase1(model.BERTLarge(), 32, opgraph.Mixed))
+	if fp32.LAMBBytes != mp.LAMBBytes {
+		t.Fatal("LAMB traffic must be precision-independent (FP32 state)")
+	}
+	// MP shrinks everything else, so the offload's relative gain grows.
+	if mp.EndToEndImprovement() <= fp32.EndToEndImprovement() {
+		t.Error("NMC gain should be larger under mixed precision")
+	}
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"demystbert/internal/kernels"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+// GeLU is the Gaussian Error Linear Unit activation between the two FC
+// GEMMs of the feed-forward block (paper Eq. 1).
+type GeLU struct {
+	x *tensor.Tensor
+}
+
+// NewGeLU returns a GeLU activation module.
+func NewGeLU() *GeLU { return &GeLU{} }
+
+// Forward applies GELU element-wise.
+func (g *GeLU) Forward(ctx *Ctx, x *tensor.Tensor) *tensor.Tensor {
+	g.x = x
+	y := tensor.New(x.Shape()...)
+	n := x.Size()
+	es := ctx.ElemSize()
+	// The unfused kernel sequence performs ~5 ops per element
+	// (scale, erf, add, halve, multiply).
+	ctx.Prof.Time("gelu_fwd", profile.CatGeLU, profile.Forward,
+		kernels.EWFLOPs(n, 5), kernels.EWBytes(n, 1, 1, es), func() {
+			kernels.GeLUForward(y.Data(), x.Data())
+		})
+	ctx.StoreHalf(y)
+	return y
+}
+
+// Backward applies the exact GELU derivative.
+func (g *GeLU) Backward(ctx *Ctx, dY *tensor.Tensor) *tensor.Tensor {
+	if g.x == nil {
+		panic("nn: GeLU.Backward called before Forward")
+	}
+	dX := tensor.New(dY.Shape()...)
+	n := dY.Size()
+	es := ctx.ElemSize()
+	ctx.Prof.Time("gelu_bwd", profile.CatGeLU, profile.Backward,
+		kernels.EWFLOPs(n, 8), kernels.EWBytes(n, 2, 1, es), func() {
+			kernels.GeLUBackward(dX.Data(), dY.Data(), g.x.Data())
+		})
+	g.x = nil
+	return dX
+}
+
+// Params returns nil; GeLU has no parameters.
+func (g *GeLU) Params() []*Param { return nil }
+
+// Dropout randomly zeroes activations at training time using an inverted
+// mask, and is an identity in evaluation mode.
+type Dropout struct {
+	// P is the drop probability.
+	P float32
+	// Category attributes the dropout kernels in profiles (attention
+	// dropout belongs to Scale+Mask+DR+SM; block dropout to DR+RC+LN).
+	Category profile.Category
+
+	mask *tensor.Tensor
+}
+
+// NewDropout returns a dropout module with probability p recorded under
+// the given profile category.
+func NewDropout(p float32, cat profile.Category) *Dropout {
+	return &Dropout{P: p, Category: cat}
+}
+
+// Forward samples a fresh mask in training mode and applies it.
+func (d *Dropout) Forward(ctx *Ctx, x *tensor.Tensor) *tensor.Tensor {
+	if !ctx.Train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	if ctx.Recompute && d.mask != nil && tensor.SameShape(d.mask, x) {
+		// Checkpointed recompute: replay the saved mask so the recomputed
+		// activation matches the original bit-for-bit.
+	} else {
+		d.mask = tensor.New(x.Shape()...)
+		kernels.DropoutMask(d.mask.Data(), d.P, ctx.RNG)
+	}
+	y := tensor.New(x.Shape()...)
+	n := x.Size()
+	es := ctx.ElemSize()
+	ctx.Prof.Time("dropout_fwd", d.Category, profile.Forward,
+		kernels.EWFLOPs(n, 1), kernels.EWBytes(n, 2, 1, es), func() {
+			kernels.DropoutApply(y.Data(), x.Data(), d.mask.Data())
+		})
+	return y
+}
+
+// Backward propagates gradients through the saved mask.
+func (d *Dropout) Backward(ctx *Ctx, dY *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return dY
+	}
+	dX := tensor.New(dY.Shape()...)
+	n := dY.Size()
+	es := ctx.ElemSize()
+	ctx.Prof.Time("dropout_bwd", d.Category, profile.Backward,
+		kernels.EWFLOPs(n, 1), kernels.EWBytes(n, 2, 1, es), func() {
+			kernels.DropoutApply(dX.Data(), dY.Data(), d.mask.Data())
+		})
+	d.mask = nil
+	return dX
+}
+
+// Params returns nil; Dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

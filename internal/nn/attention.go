@@ -1,0 +1,284 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"demystbert/internal/kernels"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+// MultiHeadAttention implements the attention network of Fig. 2(c,d) and
+// Fig. 5: Q/K/V linear projections, h parallel attention heads executed as
+// batched GEMMs of B·h small matrices, the scale→mask→softmax→dropout
+// pipeline on attention scores, the weighted-sum batched GEMM, head
+// concatenation, and the output projection.
+type MultiHeadAttention struct {
+	Wq, Wk, Wv, Wo *Linear
+	AttnDrop       *Dropout
+
+	// Causal masks future key positions, turning the encoder block into
+	// a decoder block (Section 2.3: the decoder "is similar to encoder
+	// except its attention layer is masked to consider only past tokens"
+	// — it only zeros certain matrix elements and does not change the
+	// kernel structure).
+	Causal bool
+
+	// FusedSoftmax replaces the scale → mask → softmax kernel sequence
+	// with one fused pass (the Section 6.1.1 optimization), saving two
+	// full reads and writes of the score matrix.
+	FusedSoftmax bool
+
+	dModel, heads, dHead int
+
+	// Saved forward state for backprop.
+	b, n       int
+	qh, kh, vh *tensor.Tensor // [B*h, n, dHead] split projections
+	probs      *tensor.Tensor // post-dropout attention probabilities
+	softmaxOut *tensor.Tensor // post-softmax (pre-dropout) probabilities
+	mask       *tensor.Tensor // additive mask [B, n] or nil
+}
+
+// NewMultiHeadAttention builds an attention block for the given model
+// width and head count. dModel must be divisible by heads.
+func NewMultiHeadAttention(name string, dModel, heads int, dropP float32, rng *tensor.RNG) *MultiHeadAttention {
+	if dModel%heads != 0 {
+		panic(fmt.Sprintf("nn: dModel %d not divisible by %d heads", dModel, heads))
+	}
+	return &MultiHeadAttention{
+		Wq:       NewLinear(name+".q", dModel, dModel, profile.CatLinear, rng),
+		Wk:       NewLinear(name+".k", dModel, dModel, profile.CatLinear, rng),
+		Wv:       NewLinear(name+".v", dModel, dModel, profile.CatLinear, rng),
+		Wo:       NewLinear(name+".o", dModel, dModel, profile.CatLinear, rng),
+		AttnDrop: NewDropout(dropP, profile.CatScaleMaskSM),
+		dModel:   dModel,
+		heads:    heads,
+		dHead:    dModel / heads,
+	}
+}
+
+// Forward runs attention over x: [B·n, dModel]. mask, if non-nil, is an
+// additive [B, n] key mask (0 for visible, large-negative for padding).
+func (a *MultiHeadAttention) Forward(ctx *Ctx, x *tensor.Tensor, b, n int, mask *tensor.Tensor) *tensor.Tensor {
+	tokens, dim := mustRank2("MultiHeadAttention", x)
+	if tokens != b*n || dim != a.dModel {
+		panic(fmt.Sprintf("nn: attention input %v, want [%d, %d]", x.Shape(), b*n, a.dModel))
+	}
+	if mask != nil && (mask.Rank() != 2 || mask.Dim(0) != b || mask.Dim(1) != n) {
+		panic(fmt.Sprintf("nn: attention mask %v, want [%d, %d]", mask.Shape(), b, n))
+	}
+	a.b, a.n, a.mask = b, n, mask
+	es := ctx.ElemSize()
+	batch := b * a.heads
+
+	// Linear projections (Table 2b "Linear": d_model × n·B × d_model).
+	q := a.Wq.Forward(ctx, x)
+	k := a.Wk.Forward(ctx, x)
+	v := a.Wv.Forward(ctx, x)
+
+	// Split into h heads: [B*h, n, dHead].
+	a.qh = tensor.New(batch, n, a.dHead)
+	a.kh = tensor.New(batch, n, a.dHead)
+	a.vh = tensor.New(batch, n, a.dHead)
+	sz := tokens * a.dModel
+	ctx.Prof.Time("split_heads", profile.CatOther, profile.Forward,
+		0, kernels.EWBytes(3*sz, 1, 1, es), func() {
+			kernels.SplitHeads(a.qh.Data(), q.Data(), b, n, a.heads, a.dHead)
+			kernels.SplitHeads(a.kh.Data(), k.Data(), b, n, a.heads, a.dHead)
+			kernels.SplitHeads(a.vh.Data(), v.Data(), b, n, a.heads, a.dHead)
+		})
+
+	// Attention scores: B·h batched GEMMs of n×n×dHead (Table 2b
+	// "Attn. Score").
+	scores := tensor.New(batch, n, n)
+	stQK, stS := n*a.dHead, n*n
+	ctx.Prof.Time("attn_score_bgemm", profile.CatAttnBGEMM, profile.Forward,
+		int64(batch)*kernels.GEMMFLOPs(n, n, a.dHead),
+		int64(batch)*kernels.GEMMBytes(n, n, a.dHead, es), func() {
+			kernels.BatchedGEMM(batch, false, true, n, n, a.dHead, 1,
+				a.qh.Data(), stQK, a.kh.Data(), stQK, 0, scores.Data(), stS)
+		})
+
+	// Scale by 1/sqrt(dHead), mask (key padding + optional causal), and
+	// softmax — fused into one kernel or as the separate sequence the
+	// paper profiles (Section 3.2.3).
+	scale := float32(1 / math.Sqrt(float64(a.dHead)))
+	nScores := batch * n * n
+	a.softmaxOut = tensor.New(batch, n, n)
+	var maskData []float32
+	if mask != nil {
+		maskData = mask.Data()
+	}
+	if a.FusedSoftmax {
+		ctx.Prof.Time("attn_scale_mask_softmax_fused", profile.CatScaleMaskSM, profile.Forward,
+			kernels.EWFLOPs(nScores, 6), kernels.EWBytes(nScores, 1, 1, es), func() {
+				kernels.ScaleMaskSoftmaxAttention(a.softmaxOut.Data(), scores.Data(),
+					maskData, scale, a.Causal, b, a.heads, n)
+			})
+	} else {
+		ctx.Prof.Time("attn_scale", profile.CatScaleMaskSM, profile.Forward,
+			kernels.EWFLOPs(nScores, 1), kernels.EWBytes(nScores, 1, 1, es), func() {
+				kernels.Scale(scores.Data(), scores.Data(), scale)
+			})
+		if mask != nil {
+			ctx.Prof.Time("attn_mask", profile.CatScaleMaskSM, profile.Forward,
+				kernels.EWFLOPs(nScores, 1), kernels.EWBytes(nScores, 1, 1, es), func() {
+					sd := scores.Data()
+					for bi := 0; bi < batch; bi++ {
+						mrow := maskData[(bi/a.heads)*n : (bi/a.heads+1)*n]
+						base := bi * stS
+						for qi := 0; qi < n; qi++ {
+							row := sd[base+qi*n : base+(qi+1)*n]
+							for ki := range row {
+								row[ki] += mrow[ki]
+							}
+						}
+					}
+				})
+		}
+		if a.Causal {
+			ctx.Prof.Time("attn_causal_mask", profile.CatScaleMaskSM, profile.Forward,
+				kernels.EWFLOPs(nScores, 1), kernels.EWBytes(nScores, 1, 1, es), func() {
+					sd := scores.Data()
+					for bi := 0; bi < batch; bi++ {
+						base := bi * stS
+						for qi := 0; qi < n; qi++ {
+							row := sd[base+qi*n : base+(qi+1)*n]
+							for ki := qi + 1; ki < n; ki++ {
+								row[ki] = -1e9
+							}
+						}
+					}
+				})
+		}
+		ctx.Prof.Time("attn_softmax", profile.CatScaleMaskSM, profile.Forward,
+			kernels.EWFLOPs(nScores, 4), kernels.EWBytes(nScores, 1, 1, es), func() {
+				kernels.Softmax(a.softmaxOut.Data(), scores.Data(), batch*n, n)
+			})
+	}
+
+	// Attention dropout.
+	flatProbs := a.softmaxOut.Reshape(batch*n, n)
+	a.probs = a.AttnDrop.Forward(ctx, flatProbs).Reshape(batch, n, n)
+
+	// Weighted sum of values: B·h batched GEMMs of n×dHead×n (Table 2b
+	// "Attn. O/p").
+	ctxOut := tensor.New(batch, n, a.dHead)
+	ctx.Prof.Time("attn_output_bgemm", profile.CatAttnBGEMM, profile.Forward,
+		int64(batch)*kernels.GEMMFLOPs(n, a.dHead, n),
+		int64(batch)*kernels.GEMMBytes(n, a.dHead, n, es), func() {
+			kernels.BatchedGEMM(batch, false, false, n, a.dHead, n, 1,
+				a.probs.Data(), stS, a.vh.Data(), stQK, 0, ctxOut.Data(), stQK)
+		})
+
+	// Concatenate heads back to [B·n, dModel].
+	merged := tensor.New(tokens, a.dModel)
+	ctx.Prof.Time("merge_heads", profile.CatOther, profile.Forward,
+		0, kernels.EWBytes(sz, 1, 1, es), func() {
+			kernels.MergeHeads(merged.Data(), ctxOut.Data(), b, n, a.heads, a.dHead)
+		})
+
+	// Output projection.
+	return a.Wo.Forward(ctx, merged)
+}
+
+// Backward propagates dY: [B·n, dModel] through the attention block and
+// returns dX. Parameter gradients accumulate into the four projections.
+func (a *MultiHeadAttention) Backward(ctx *Ctx, dY *tensor.Tensor) *tensor.Tensor {
+	if a.qh == nil {
+		panic("nn: MultiHeadAttention.Backward called before Forward")
+	}
+	b, n := a.b, a.n
+	tokens := b * n
+	batch := b * a.heads
+	es := ctx.ElemSize()
+	stQK, stS := n*a.dHead, n*n
+
+	// Through output projection.
+	dMerged := a.Wo.Backward(ctx, dY)
+
+	// Un-concatenate heads.
+	dCtxOut := tensor.New(batch, n, a.dHead)
+	sz := tokens * a.dModel
+	ctx.Prof.Time("split_heads_bwd", profile.CatOther, profile.Backward,
+		0, kernels.EWBytes(sz, 1, 1, es), func() {
+			kernels.SplitHeads(dCtxOut.Data(), dMerged.Data(), b, n, a.heads, a.dHead)
+		})
+
+	// Backward of output BGEMM (Table 2b "Attn. O/p" BWD rows):
+	// dProbs = dCtxOut · V^T, dV = Probs^T · dCtxOut.
+	dProbs := tensor.New(batch, n, n)
+	dVh := tensor.New(batch, n, a.dHead)
+	ctx.Prof.Time("attn_output_bgemm_bwd", profile.CatAttnBGEMM, profile.Backward,
+		2*int64(batch)*kernels.GEMMFLOPs(n, n, a.dHead),
+		2*int64(batch)*kernels.GEMMBytes(n, n, a.dHead, es), func() {
+			kernels.BatchedGEMM(batch, false, true, n, n, a.dHead, 1,
+				dCtxOut.Data(), stQK, a.vh.Data(), stQK, 0, dProbs.Data(), stS)
+			kernels.BatchedGEMM(batch, true, false, n, a.dHead, n, 1,
+				a.probs.Data(), stS, dCtxOut.Data(), stQK, 0, dVh.Data(), stQK)
+		})
+
+	// Through dropout, then softmax.
+	dAfterDrop := a.AttnDrop.Backward(ctx, dProbs.Reshape(batch*n, n))
+	dScores := tensor.New(batch, n, n)
+	nScores := batch * n * n
+	ctx.Prof.Time("attn_softmax_bwd", profile.CatScaleMaskSM, profile.Backward,
+		kernels.EWFLOPs(nScores, 4), kernels.EWBytes(nScores, 2, 1, es), func() {
+			kernels.SoftmaxGrad(dScores.Data(), dAfterDrop.Data(), a.softmaxOut.Data(), batch*n, n)
+		})
+	// Mask add has identity gradient; scale backward multiplies by the
+	// same constant.
+	scale := float32(1 / math.Sqrt(float64(a.dHead)))
+	ctx.Prof.Time("attn_scale_bwd", profile.CatScaleMaskSM, profile.Backward,
+		kernels.EWFLOPs(nScores, 1), kernels.EWBytes(nScores, 1, 1, es), func() {
+			kernels.Scale(dScores.Data(), dScores.Data(), scale)
+		})
+
+	// Backward of score BGEMM (Table 2b "Attn. Score" BWD rows):
+	// dQ = dScores · K, dK = dScores^T · Q.
+	dQh := tensor.New(batch, n, a.dHead)
+	dKh := tensor.New(batch, n, a.dHead)
+	ctx.Prof.Time("attn_score_bgemm_bwd", profile.CatAttnBGEMM, profile.Backward,
+		2*int64(batch)*kernels.GEMMFLOPs(n, a.dHead, n),
+		2*int64(batch)*kernels.GEMMBytes(n, a.dHead, n, es), func() {
+			kernels.BatchedGEMM(batch, false, false, n, a.dHead, n, 1,
+				dScores.Data(), stS, a.kh.Data(), stQK, 0, dQh.Data(), stQK)
+			kernels.BatchedGEMM(batch, true, false, n, a.dHead, n, 1,
+				dScores.Data(), stS, a.qh.Data(), stQK, 0, dKh.Data(), stQK)
+		})
+
+	// Merge head gradients back to [B·n, dModel].
+	dQ := tensor.New(tokens, a.dModel)
+	dK := tensor.New(tokens, a.dModel)
+	dV := tensor.New(tokens, a.dModel)
+	ctx.Prof.Time("merge_heads_bwd", profile.CatOther, profile.Backward,
+		0, kernels.EWBytes(3*sz, 1, 1, es), func() {
+			kernels.MergeHeads(dQ.Data(), dQh.Data(), b, n, a.heads, a.dHead)
+			kernels.MergeHeads(dK.Data(), dKh.Data(), b, n, a.heads, a.dHead)
+			kernels.MergeHeads(dV.Data(), dVh.Data(), b, n, a.heads, a.dHead)
+		})
+
+	// Through the three input projections; their dX contributions sum
+	// because x feeds all three.
+	dX := a.Wq.Backward(ctx, dQ)
+	dXk := a.Wk.Backward(ctx, dK)
+	dXv := a.Wv.Backward(ctx, dV)
+	nIn := tokens * a.dModel
+	ctx.Prof.Time("attn_input_grad_sum", profile.CatOther, profile.Backward,
+		kernels.EWFLOPs(nIn, 2), kernels.EWBytes(nIn, 3, 1, es), func() {
+			kernels.AccumulateInto(dX.Data(), dXk.Data())
+			kernels.AccumulateInto(dX.Data(), dXv.Data())
+		})
+
+	a.qh, a.kh, a.vh, a.probs, a.softmaxOut, a.mask = nil, nil, nil, nil, nil, nil
+	return dX
+}
+
+// Params returns the four projection layers' parameters.
+func (a *MultiHeadAttention) Params() []*Param {
+	return collectParams(a.Wq, a.Wk, a.Wv, a.Wo)
+}
+
+// Heads returns the attention head count.
+func (a *MultiHeadAttention) Heads() int { return a.heads }

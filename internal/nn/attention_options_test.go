@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"demystbert/internal/tensor"
+)
+
+func TestCausalAttentionMasksFuture(t *testing.T) {
+	r := tensor.NewRNG(1)
+	a := NewMultiHeadAttention("a", 8, 2, 0, r)
+	a.Causal = true
+	b, n := 1, 5
+	x := randTensor(r, b*n, 8)
+	a.Forward(evalCtx(), x, b, n, nil)
+	// Every probability above the diagonal (key > query) must be ~0.
+	for bh := 0; bh < b*2; bh++ {
+		for q := 0; q < n; q++ {
+			for k := q + 1; k < n; k++ {
+				if p := a.softmaxOut.At(bh, q, k); p > 1e-6 {
+					t.Fatalf("future position (%d,%d) got probability %v", q, k, p)
+				}
+			}
+			// Rows still normalize over the visible prefix.
+			var sum float64
+			for k := 0; k <= q; k++ {
+				sum += float64(a.softmaxOut.At(bh, q, k))
+			}
+			if math.Abs(sum-1) > 1e-5 {
+				t.Fatalf("causal row (%d,%d) sums to %v", bh, q, sum)
+			}
+		}
+	}
+}
+
+func TestCausalDoesNotChangeKernelStructure(t *testing.T) {
+	// Section 2.3: masking "only zeros certain matrix elements" — the
+	// decoder launches the same GEMMs; only one extra masking kernel
+	// appears in the unfused pipeline.
+	r := tensor.NewRNG(2)
+	run := func(causal bool) (kernels int, gemmFLOPs int64) {
+		a := NewMultiHeadAttention("a", 16, 4, 0, tensor.NewRNG(3))
+		a.Causal = causal
+		ctx := NewCtx(1)
+		x := randTensor(r, 12, 16)
+		a.Forward(ctx, x, 2, 6, nil)
+		sum := ctx.Prof.Summarize()
+		var gf int64
+		for _, e := range ctx.Prof.Events() {
+			if e.Category.IsGEMM() {
+				gf += e.FLOPs
+			}
+		}
+		return sum.Total.Kernels, gf
+	}
+	kEnc, fEnc := run(false)
+	kDec, fDec := run(true)
+	if fDec != fEnc {
+		t.Fatalf("causal masking changed GEMM FLOPs: %d vs %d", fDec, fEnc)
+	}
+	if kDec != kEnc+1 {
+		t.Fatalf("causal masking should add exactly one kernel: %d vs %d", kDec, kEnc)
+	}
+}
+
+func TestCausalGradCheck(t *testing.T) {
+	r := tensor.NewRNG(4)
+	a := NewMultiHeadAttention("a", 8, 2, 0, r)
+	a.Causal = true
+	b, n := 1, 4
+	x := randTensor(r, b*n, 8)
+	dY := randTensor(r, b*n, 8)
+	ctx := evalCtx()
+	a.Forward(ctx, x, b, n, nil)
+	dX := a.Backward(ctx, dY)
+	forward := func() float64 {
+		return dotLoss(a.Forward(evalCtx(), x, b, n, nil), dY)
+	}
+	checkGrad(t, "causal attn dX", x.Data(), dX.Data(), forward, 2e-2, 5)
+}
+
+func TestFusedSoftmaxMatchesUnfused(t *testing.T) {
+	r := tensor.NewRNG(5)
+	b, n, d, h := 2, 6, 16, 4
+	x := randTensor(r, b*n, d)
+	mask := tensor.New(b, n)
+	mask.Set(-1e9, 0, n-1)
+	mask.Set(-1e9, 1, 0)
+
+	run := func(fused, causal bool) *tensor.Tensor {
+		a := NewMultiHeadAttention("a", d, h, 0, tensor.NewRNG(7))
+		a.FusedSoftmax = fused
+		a.Causal = causal
+		return a.Forward(evalCtx(), x, b, n, mask)
+	}
+	for _, causal := range []bool{false, true} {
+		yU := run(false, causal)
+		yF := run(true, causal)
+		for i := range yU.Data() {
+			diff := math.Abs(float64(yU.Data()[i] - yF.Data()[i]))
+			if diff > 1e-5 {
+				t.Fatalf("causal=%v: fused/unfused outputs differ by %v at %d", causal, diff, i)
+			}
+		}
+	}
+}
+
+func TestFusedSoftmaxReducesKernels(t *testing.T) {
+	r := tensor.NewRNG(6)
+	b, n, d := 2, 6, 16
+	x := randTensor(r, b*n, d)
+	mask := tensor.New(b, n)
+	run := func(fused bool) (int, int64) {
+		a := NewMultiHeadAttention("a", d, 4, 0, tensor.NewRNG(7))
+		a.FusedSoftmax = fused
+		ctx := NewCtx(1)
+		a.Forward(ctx, x, b, n, mask)
+		sum := ctx.Prof.Summarize()
+		sm := sum.ByCategory["ScaleMaskDRSM"]
+		return sm.Kernels, sm.Bytes
+	}
+	kU, bU := run(false)
+	kF, bF := run(true)
+	if kF >= kU {
+		t.Fatalf("fusion must reduce scale/mask/softmax kernels: %d vs %d", kF, kU)
+	}
+	if bF >= bU {
+		t.Fatalf("fusion must reduce score-pipeline traffic: %d vs %d", bF, bU)
+	}
+}
+
+func TestFusedSoftmaxGradCheck(t *testing.T) {
+	r := tensor.NewRNG(8)
+	a := NewMultiHeadAttention("a", 8, 2, 0, r)
+	a.FusedSoftmax = true
+	b, n := 1, 4
+	x := randTensor(r, b*n, 8)
+	dY := randTensor(r, b*n, 8)
+	ctx := evalCtx()
+	a.Forward(ctx, x, b, n, nil)
+	dX := a.Backward(ctx, dY)
+	forward := func() float64 {
+		return dotLoss(a.Forward(evalCtx(), x, b, n, nil), dY)
+	}
+	checkGrad(t, "fused attn dX", x.Data(), dX.Data(), forward, 2e-2, 5)
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+
+	"demystbert/internal/kernels"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+// Embedding is BERT's input layer: the sum of token, learned-position, and
+// segment (sentence A/B) embeddings, followed by LayerNorm and dropout.
+// The paper finds its runtime contribution negligible (Obs. 1); it is
+// nevertheless implemented in full because it owns ~30% of BERT-Large's
+// parameters and therefore matters to LAMB's update volume.
+type Embedding struct {
+	Tok, Pos, Seg *Param
+	LN            *LayerNorm
+	Drop          *Dropout
+
+	vocab, maxPos, dModel int
+
+	// Saved for backward.
+	tokens   []int
+	segments []int
+	seqLen   int
+}
+
+// NewEmbedding builds the embedding layer for the given vocabulary size,
+// maximum sequence length, and model width.
+func NewEmbedding(vocab, maxPos, dModel int, dropP float32, rng *tensor.RNG) *Embedding {
+	e := &Embedding{
+		Tok:    NewParam("embed.token", vocab, dModel),
+		Pos:    NewParam("embed.position", maxPos, dModel),
+		Seg:    NewParam("embed.segment", 2, dModel),
+		LN:     NewLayerNorm("embed.ln", dModel),
+		Drop:   NewDropout(dropP, profile.CatEmbedding),
+		vocab:  vocab,
+		maxPos: maxPos,
+		dModel: dModel,
+	}
+	e.Tok.Value.FillNormal(rng, 0, 0.02)
+	e.Pos.Value.FillNormal(rng, 0, 0.02)
+	e.Seg.Value.FillNormal(rng, 0, 0.02)
+	return e
+}
+
+// Forward embeds token ids (length B·n) with their positions and segment
+// ids, returning [B·n, dModel]. Position i within each sequence of length
+// n gets position embedding i.
+func (e *Embedding) Forward(ctx *Ctx, tokens, segments []int, b, n int) *tensor.Tensor {
+	if len(tokens) != b*n || len(segments) != b*n {
+		panic(fmt.Sprintf("nn: Embedding got %d tokens, %d segments, want %d", len(tokens), len(segments), b*n))
+	}
+	if n > e.maxPos {
+		panic(fmt.Sprintf("nn: sequence length %d exceeds max position %d", n, e.maxPos))
+	}
+	e.tokens = tokens
+	e.segments = segments
+	e.seqLen = n
+
+	out := tensor.New(b*n, e.dModel)
+	total := b * n * e.dModel
+	es := ctx.ElemSize()
+	ctx.Prof.Time("embedding_gather", profile.CatEmbedding, profile.Forward,
+		kernels.EWFLOPs(total, 2), kernels.EWBytes(total, 3, 1, es), func() {
+			d := out.Data()
+			for t := 0; t < b*n; t++ {
+				id := tokens[t]
+				if id < 0 || id >= e.vocab {
+					panic(fmt.Sprintf("nn: token id %d out of vocab %d", id, e.vocab))
+				}
+				seg := segments[t]
+				if seg != 0 && seg != 1 {
+					panic(fmt.Sprintf("nn: segment id %d must be 0 or 1", seg))
+				}
+				row := d[t*e.dModel : (t+1)*e.dModel]
+				tok := e.Tok.Value.Row(id)
+				pv := e.Pos.Value.Row(t % n)
+				sv := e.Seg.Value.Row(seg)
+				for j := range row {
+					row[j] = tok[j] + pv[j] + sv[j]
+				}
+			}
+		})
+
+	h := e.LN.Forward(ctx, out)
+	return e.Drop.Forward(ctx, h)
+}
+
+// Backward scatters gradients into the three embedding tables.
+func (e *Embedding) Backward(ctx *Ctx, dY *tensor.Tensor) {
+	if e.tokens == nil {
+		panic("nn: Embedding.Backward called before Forward")
+	}
+	dH := e.Drop.Backward(ctx, dY)
+	dSum := e.LN.Backward(ctx, dH)
+
+	total := dSum.Size()
+	es := ctx.ElemSize()
+	ctx.Prof.Time("embedding_scatter", profile.CatEmbedding, profile.Backward,
+		kernels.EWFLOPs(total, 3), kernels.EWBytes(total, 1, 3, es), func() {
+			d := dSum.Data()
+			for t := range e.tokens {
+				row := d[t*e.dModel : (t+1)*e.dModel]
+				tok := e.Tok.Grad.Row(e.tokens[t])
+				pv := e.Pos.Grad.Row(t % e.seqLen)
+				sv := e.Seg.Grad.Row(e.segments[t])
+				for j, g := range row {
+					tok[j] += g
+					pv[j] += g
+					sv[j] += g
+				}
+			}
+		})
+	e.tokens, e.segments = nil, nil
+}
+
+// Params returns the embedding tables and LayerNorm parameters.
+func (e *Embedding) Params() []*Param {
+	return append([]*Param{e.Tok, e.Pos, e.Seg}, e.LN.Params()...)
+}

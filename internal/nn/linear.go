@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+
+	"demystbert/internal/kernels"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+// Linear is a fully-connected layer computing Y = X·W^T + b for
+// X: [tokens, in], W: [out, in], b: [out].
+//
+// Its three GEMMs follow Table 2b exactly:
+//
+//	FWD:        out × tokens × in   (Y = X·W^T)
+//	BWD d-act:  in  × tokens × out  (dX = dY·W)
+//	BWD d-wgt:  out × in × tokens   (dW = dY^T·X)
+type Linear struct {
+	W, B *Param
+	// Category classifies this layer's GEMMs in profiles: CatLinear for
+	// attention projections, CatFCGEMM for feed-forward layers,
+	// CatOutput for model heads.
+	Category profile.Category
+
+	in, out int
+	x       *tensor.Tensor // saved forward input
+}
+
+// NewLinear returns a Linear layer with Xavier-initialized weights.
+func NewLinear(name string, in, out int, cat profile.Category, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		W:        NewParam(name+".weight", out, in),
+		B:        NewParam(name+".bias", out),
+		Category: cat,
+		in:       in,
+		out:      out,
+	}
+	l.W.Value.FillXavier(rng, in, out)
+	return l
+}
+
+// Forward computes Y = X·W^T + b and saves X for the backward pass.
+func (l *Linear) Forward(ctx *Ctx, x *tensor.Tensor) *tensor.Tensor {
+	tokens, in := mustRank2("Linear", x)
+	if in != l.in {
+		panic(fmt.Sprintf("nn: Linear input features %d, want %d", in, l.in))
+	}
+	l.x = x
+	y := tensor.New(tokens, l.out)
+	es := ctx.ElemSize()
+
+	m, n, k := tokens, l.out, l.in
+	ctx.Prof.Time("linear_fwd_gemm", l.Category, profile.Forward,
+		kernels.GEMMFLOPs(m, n, k), kernels.GEMMBytes(m, n, k, es), func() {
+			kernels.GEMM(false, true, m, n, k, 1, x.Data(), l.W.Value.Data(), 0, y.Data())
+		})
+	ctx.Prof.Time("linear_fwd_bias", l.Category, profile.Forward,
+		kernels.EWFLOPs(tokens*l.out, 1), kernels.EWBytes(tokens*l.out, 1, 1, es), func() {
+			kernels.AddBias(y.Data(), l.B.Value.Data(), tokens, l.out)
+		})
+	ctx.StoreHalf(y)
+	return y
+}
+
+// Backward computes dX = dY·W, accumulates dW += dY^T·X and db += colsum(dY).
+func (l *Linear) Backward(ctx *Ctx, dY *tensor.Tensor) *tensor.Tensor {
+	tokens, out := mustRank2("Linear.Backward", dY)
+	if out != l.out {
+		panic(fmt.Sprintf("nn: Linear upstream gradient features %d, want %d", out, l.out))
+	}
+	if l.x == nil {
+		panic("nn: Linear.Backward called before Forward")
+	}
+	es := ctx.ElemSize()
+	dX := tensor.New(tokens, l.in)
+
+	// dX = dY · W: (tokens×out)·(out×in).
+	m, n, k := tokens, l.in, l.out
+	ctx.Prof.Time("linear_bwd_dgrad_gemm", l.Category, profile.Backward,
+		kernels.GEMMFLOPs(m, n, k), kernels.GEMMBytes(m, n, k, es), func() {
+			kernels.GEMM(false, false, m, n, k, 1, dY.Data(), l.W.Value.Data(), 0, dX.Data())
+		})
+
+	// dW += dY^T · X: (out×tokens)·(tokens×in).
+	m, n, k = l.out, l.in, tokens
+	ctx.Prof.Time("linear_bwd_wgrad_gemm", l.Category, profile.Backward,
+		kernels.GEMMFLOPs(m, n, k), kernels.GEMMBytes(m, n, k, es), func() {
+			kernels.GEMM(true, false, m, n, k, 1, dY.Data(), l.x.Data(), 1, l.W.Grad.Data())
+		})
+
+	ctx.Prof.Time("linear_bwd_bgrad", l.Category, profile.Backward,
+		kernels.EWFLOPs(tokens*l.out, 1), kernels.EWBytes(tokens*l.out, 1, 0, es)+int64(l.out*es), func() {
+			kernels.BiasGrad(l.B.Grad.Data(), dY.Data(), tokens, l.out)
+		})
+	l.x = nil
+	ctx.StoreHalf(dX)
+	return dX
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// In returns the input feature count.
+func (l *Linear) In() int { return l.in }
+
+// Out returns the output feature count.
+func (l *Linear) Out() int { return l.out }

@@ -1,0 +1,127 @@
+// Package nn implements the neural-network layer modules of the
+// real-execution BERT engine: Linear, Multi-Head Attention, the
+// feed-forward (FC) block, LayerNorm, Dropout, Residual, and Embedding,
+// each with a hand-written backward pass. Every kernel invocation is
+// recorded through internal/profile so real runs produce the same
+// category/phase breakdowns the paper reports.
+//
+// All inter-module activations are rank-2 tensors of shape
+// [tokens, features] with tokens = B·n: as the paper stresses
+// (Section 3.2.2), BERT combines all token vectors of a mini-batch into a
+// single matrix, so every layer manifests as a GEMM even at B = 1.
+package nn
+
+import (
+	"fmt"
+
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+// Param is a trainable parameter tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter and a zeroed gradient of the given shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(shape...),
+		Grad:  tensor.New(shape...),
+	}
+}
+
+// Size returns the parameter's element count.
+func (p *Param) Size() int { return p.Value.Size() }
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Ctx carries per-iteration execution state through forward and backward
+// passes: the profiler, the dropout RNG, the training flag, and whether
+// mixed-precision byte accounting is active.
+type Ctx struct {
+	Prof  *profile.Profiler
+	RNG   *tensor.RNG
+	Train bool
+
+	// MixedPrecision switches profiler byte accounting to 2-byte elements
+	// for forward/backward kernels AND quantizes layer outputs through
+	// IEEE binary16 storage, so reduced precision is numerically real.
+	// Arithmetic remains float32 (accumulation in higher precision), and
+	// master weights and optimizer state stay FP32, matching the paper's
+	// MP training (Section 3.2.1).
+	MixedPrecision bool
+
+	// LossScale multiplies the loss gradient at the top of backprop
+	// (mixed-precision loss scaling; 0 or 1 means unscaled). Gradients
+	// must be unscaled before the optimizer step — see
+	// optim.DynamicLossScaler.
+	LossScale float32
+
+	// Recompute marks a checkpointed segment's forward re-execution
+	// during backprop (Section 4). Dropout replays its saved mask instead
+	// of sampling a fresh one, so recomputed activations are bit-identical
+	// to the originals.
+	Recompute bool
+}
+
+// NewCtx returns a training context with a fresh profiler and the given
+// dropout seed.
+func NewCtx(seed uint64) *Ctx {
+	return &Ctx{Prof: profile.New(), RNG: tensor.NewRNG(seed), Train: true}
+}
+
+// ElemSize returns the byte accounting element size for activation
+// kernels: 2 in mixed precision, else 4.
+func (c *Ctx) ElemSize() int {
+	if c.MixedPrecision {
+		return 2
+	}
+	return 4
+}
+
+// EffectiveLossScale returns the loss-gradient multiplier (1 when unset).
+func (c *Ctx) EffectiveLossScale() float32 {
+	if c.LossScale == 0 {
+		return 1
+	}
+	return c.LossScale
+}
+
+// StoreHalf quantizes an activation through binary16 storage when mixed
+// precision is active — the "store to FP16, load back" boundary every
+// layer output crosses in real MP training.
+func (c *Ctx) StoreHalf(t *tensor.Tensor) {
+	if c.MixedPrecision {
+		tensor.RoundTripF16(t)
+	}
+}
+
+// Module is the interface of layers composable in a simple x→y chain.
+// Backward must be called exactly once per Forward, in reverse order, and
+// accumulates into parameter gradients.
+type Module interface {
+	Forward(ctx *Ctx, x *tensor.Tensor) *tensor.Tensor
+	Backward(ctx *Ctx, dY *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// collectParams concatenates the parameters of several modules.
+func collectParams(ms ...Module) []*Param {
+	var ps []*Param
+	for _, m := range ms {
+		ps = append(ps, m.Params()...)
+	}
+	return ps
+}
+
+func mustRank2(name string, x *tensor.Tensor) (rows, cols int) {
+	if x.Rank() != 2 {
+		panic(fmt.Sprintf("nn: %s expects a rank-2 [tokens, features] tensor, got %v", name, x.Shape()))
+	}
+	return x.Dim(0), x.Dim(1)
+}

@@ -1,0 +1,80 @@
+package optim
+
+import (
+	"math"
+
+	"demystbert/internal/nn"
+)
+
+// DynamicLossScaler implements the loss-scaling half of mixed-precision
+// training (the paper's [62], apex): the loss gradient is multiplied by a
+// large scale so small FP16 gradients survive quantization, gradients are
+// unscaled before the (FP32) optimizer step, and the scale adapts — it
+// backs off when an overflow appears and grows after a run of clean
+// steps.
+type DynamicLossScaler struct {
+	// Scale is the current loss multiplier (a power of two).
+	Scale float32
+	// GrowthFactor multiplies Scale after GrowthInterval clean steps;
+	// BackoffFactor multiplies it on overflow.
+	GrowthFactor   float32
+	BackoffFactor  float32
+	GrowthInterval int
+
+	goodSteps int
+	// Skipped counts steps rejected because of non-finite gradients.
+	Skipped int
+}
+
+// NewDynamicLossScaler returns a scaler with apex-like defaults.
+func NewDynamicLossScaler() *DynamicLossScaler {
+	return &DynamicLossScaler{
+		Scale:          1 << 15,
+		GrowthFactor:   2,
+		BackoffFactor:  0.5,
+		GrowthInterval: 100,
+	}
+}
+
+// Arm sets the context's loss scale so the next backward pass produces
+// scaled gradients.
+func (s *DynamicLossScaler) Arm(ctx *nn.Ctx) {
+	ctx.LossScale = s.Scale
+}
+
+// UnscaleAndCheck divides every gradient by the current scale and reports
+// whether all gradients are finite. On overflow it zeroes the gradients
+// (the step must be skipped), backs the scale off, and returns false; on
+// success it counts toward the next growth.
+func (s *DynamicLossScaler) UnscaleAndCheck(params []*nn.Param) bool {
+	inv := 1 / s.Scale
+	finite := true
+	for _, p := range params {
+		g := p.Grad.Data()
+		for i := range g {
+			v := g[i] * inv
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				finite = false
+			}
+			g[i] = v
+		}
+	}
+	if !finite {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		s.Scale *= s.BackoffFactor
+		if s.Scale < 1 {
+			s.Scale = 1
+		}
+		s.goodSteps = 0
+		s.Skipped++
+		return false
+	}
+	s.goodSteps++
+	if s.goodSteps >= s.GrowthInterval {
+		s.Scale *= s.GrowthFactor
+		s.goodSteps = 0
+	}
+	return true
+}

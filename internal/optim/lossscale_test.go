@@ -1,0 +1,81 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"demystbert/internal/nn"
+)
+
+func TestLossScalerUnscales(t *testing.T) {
+	s := NewDynamicLossScaler()
+	s.Scale = 1024
+	p := nn.NewParam("w", 4)
+	p.Grad.Fill(1024 * 0.5)
+	if !s.UnscaleAndCheck([]*nn.Param{p}) {
+		t.Fatal("finite gradients rejected")
+	}
+	for _, g := range p.Grad.Data() {
+		if g != 0.5 {
+			t.Fatalf("unscaled gradient %v, want 0.5", g)
+		}
+	}
+}
+
+func TestLossScalerBacksOffOnOverflow(t *testing.T) {
+	s := NewDynamicLossScaler()
+	s.Scale = 1024
+	p := nn.NewParam("w", 4)
+	p.Grad.Fill(1)
+	p.Grad.Data()[2] = float32(math.Inf(1))
+	if s.UnscaleAndCheck([]*nn.Param{p}) {
+		t.Fatal("overflow not detected")
+	}
+	if s.Scale != 512 {
+		t.Fatalf("scale after backoff %v, want 512", s.Scale)
+	}
+	if s.Skipped != 1 {
+		t.Fatalf("Skipped = %d", s.Skipped)
+	}
+	for _, g := range p.Grad.Data() {
+		if g != 0 {
+			t.Fatal("overflowed gradients must be zeroed (step skipped)")
+		}
+	}
+}
+
+func TestLossScalerGrowsAfterCleanRun(t *testing.T) {
+	s := NewDynamicLossScaler()
+	s.Scale = 8
+	s.GrowthInterval = 3
+	p := nn.NewParam("w", 2)
+	for i := 0; i < 3; i++ {
+		p.Grad.Fill(8)
+		if !s.UnscaleAndCheck([]*nn.Param{p}) {
+			t.Fatal("clean step rejected")
+		}
+	}
+	if s.Scale != 16 {
+		t.Fatalf("scale after growth %v, want 16", s.Scale)
+	}
+}
+
+func TestLossScalerFloorsAtOne(t *testing.T) {
+	s := NewDynamicLossScaler()
+	s.Scale = 1
+	p := nn.NewParam("w", 1)
+	p.Grad.Data()[0] = float32(math.NaN())
+	s.UnscaleAndCheck([]*nn.Param{p})
+	if s.Scale < 1 {
+		t.Fatalf("scale fell below 1: %v", s.Scale)
+	}
+}
+
+func TestLossScalerArm(t *testing.T) {
+	s := NewDynamicLossScaler()
+	ctx := nn.NewCtx(1)
+	s.Arm(ctx)
+	if ctx.LossScale != s.Scale {
+		t.Fatal("Arm did not set the context scale")
+	}
+}

@@ -1,0 +1,27 @@
+// Package optim implements the weight-update phase of BERT training: the
+// LAMB optimizer the paper identifies as the second-highest runtime
+// contributor (Takeaway 1), Adam in both fused and unfused forms (the
+// kernel-fusion study of Fig. 12a), and plain SGD as a baseline.
+//
+// Optimizer kernels always account bytes at FP32 element size: mixed
+// precision keeps FP32 master weights and optimizer state, which is why
+// the paper finds LAMB's runtime unchanged — and its relative share
+// increased — under MP training (Takeaway 2).
+package optim
+
+import (
+	"demystbert/internal/nn"
+)
+
+// Optimizer applies one update step to a parameter set using their
+// accumulated gradients. Implementations record their kernels through
+// ctx.Prof so update-phase runtime is attributable.
+type Optimizer interface {
+	// Step updates all parameters in place and clears nothing: callers
+	// zero gradients themselves (gradient accumulation is legal).
+	Step(ctx *nn.Ctx, params []*nn.Param)
+}
+
+// fp32Size is the optimizer element size: updates run in full precision
+// even under mixed-precision training.
+const fp32Size = 4

@@ -1,0 +1,258 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"demystbert/internal/nn"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+func makeParam(name string, r *tensor.RNG, shape ...int) *nn.Param {
+	p := nn.NewParam(name, shape...)
+	p.Value.FillUniform(r, -1, 1)
+	p.Grad.FillUniform(r, -0.1, 0.1)
+	return p
+}
+
+func TestSGDStep(t *testing.T) {
+	p := nn.NewParam("w", 3)
+	copy(p.Value.Data(), []float32{1, 2, 3})
+	copy(p.Grad.Data(), []float32{1, 1, 1})
+	NewSGD(0.5).Step(nn.NewCtx(1), []*nn.Param{p})
+	want := []float32{0.5, 1.5, 2.5}
+	for i := range want {
+		if p.Value.Data()[i] != want[i] {
+			t.Fatalf("SGD value[%d] = %v, want %v", i, p.Value.Data()[i], want[i])
+		}
+	}
+}
+
+func TestLAMBFirstStepClosedForm(t *testing.T) {
+	// Single scalar parameter, no weight decay, no clipping: after one
+	// step m̂ = g, v̂ = g², so the raw update is sign(g)/(1+eps·/|g|)≈1,
+	// and the trust ratio is |w|/|update|; w' = w - lr·|w|·sign(g).
+	p := nn.NewParam("w", 1)
+	p.Value.Data()[0] = 2
+	p.Grad.Data()[0] = 0.5
+	o := NewLAMB(0.1)
+	o.WeightDecay = 0
+	o.ClipNorm = 0
+	o.Step(nn.NewCtx(1), []*nn.Param{p})
+	// update ≈ 0.5/(0.5+eps) ≈ 1; trust = |2|/1 = 2; w' = 2 - 0.1*2*1.
+	want := 2 - 0.1*2*1.0
+	if got := float64(p.Value.Data()[0]); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("LAMB first step w = %v, want ~%v", got, want)
+	}
+	if o.StepCount() != 1 {
+		t.Fatalf("StepCount = %d", o.StepCount())
+	}
+}
+
+func TestLAMBMomentumAccumulates(t *testing.T) {
+	r := tensor.NewRNG(1)
+	p := makeParam("w", r, 16)
+	o := NewLAMB(0.01)
+	ctx := nn.NewCtx(1)
+	o.Step(ctx, []*nn.Param{p})
+	m1, _ := o.State(p)
+	first := append([]float32(nil), m1.Data()...)
+	o.Step(ctx, []*nn.Param{p})
+	m2, _ := o.State(p)
+	same := true
+	for i := range first {
+		if m2.Data()[i] != first[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("momentum did not change across steps")
+	}
+}
+
+func TestLAMBGradientClipping(t *testing.T) {
+	// With a huge gradient and ClipNorm=1, the effective gradient is
+	// normalized; the step must be bounded by lr·trust regardless of
+	// gradient magnitude.
+	p := nn.NewParam("w", 4)
+	p.Value.Fill(1)
+	p.Grad.Fill(1e6)
+	o := NewLAMB(0.1)
+	o.WeightDecay = 0
+	before := append([]float32(nil), p.Value.Data()...)
+	o.Step(nn.NewCtx(1), []*nn.Param{p})
+	for i := range before {
+		delta := math.Abs(float64(before[i] - p.Value.Data()[i]))
+		if delta > 0.3 {
+			t.Fatalf("clipped LAMB step moved weight by %v", delta)
+		}
+	}
+}
+
+func TestLAMBZeroGradientNoNaN(t *testing.T) {
+	p := nn.NewParam("w", 4)
+	p.Value.Fill(1)
+	o := NewLAMB(0.1)
+	o.Step(nn.NewCtx(1), []*nn.Param{p})
+	for _, v := range p.Value.Data() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("zero-gradient step produced %v", v)
+		}
+	}
+}
+
+func TestLAMBProfileCategories(t *testing.T) {
+	r := tensor.NewRNG(2)
+	params := []*nn.Param{makeParam("a", r, 64), makeParam("b", r, 32)}
+	ctx := nn.NewCtx(1)
+	NewLAMB(0.01).Step(ctx, params)
+	sum := ctx.Prof.Summarize()
+	s1 := sum.ByCategory[profile.CatLAMBStage1]
+	s2 := sum.ByCategory[profile.CatLAMBStage2]
+	// Global norm + one stage-1 kernel per tensor; one stage-2 per tensor.
+	if s1.Kernels != 3 {
+		t.Fatalf("stage-1 kernels = %d, want 3 (norm + 2 tensors)", s1.Kernels)
+	}
+	if s2.Kernels != 2 {
+		t.Fatalf("stage-2 kernels = %d, want 2", s2.Kernels)
+	}
+	// Takeaway 7: stage 1 reads 4× model size. Total model = 96 elems.
+	wantS1Read := int64(96) * 4 * 4 // elems × arrays × bytes
+	if s1.Bytes < wantS1Read {
+		t.Fatalf("stage-1 bytes %d below the 4×-model-size read volume %d", s1.Bytes, wantS1Read)
+	}
+	if sum.ByPhase[profile.Update].Kernels != sum.Total.Kernels {
+		t.Fatal("all LAMB kernels must be Update phase")
+	}
+}
+
+func TestLAMBReadsFourTimesModelSize(t *testing.T) {
+	// The paper's Takeaway 7 verbatim: LAMB reads data worth 4× the model
+	// size in stage 1 (g, m, v, w).
+	r := tensor.NewRNG(3)
+	params := []*nn.Param{makeParam("a", r, 1000)}
+	ctx := nn.NewCtx(1)
+	NewLAMB(0.01).Step(ctx, params)
+	var stage1Bytes int64
+	for _, e := range ctx.Prof.Events() {
+		if e.Kernel == "lamb_stage1" {
+			stage1Bytes += e.Bytes
+		}
+	}
+	modelBytes := int64(1000 * 4)
+	reads := stage1Bytes - 3*modelBytes // subtract the 3 written arrays
+	if reads != 4*modelBytes {
+		t.Fatalf("stage-1 reads %d bytes, want exactly 4× model size %d", reads, 4*modelBytes)
+	}
+}
+
+func TestAdamFusedMatchesUnfused(t *testing.T) {
+	r := tensor.NewRNG(4)
+	mk := func() []*nn.Param {
+		rr := tensor.NewRNG(77)
+		return []*nn.Param{makeParam("a", rr, 33), makeParam("b", rr, 17)}
+	}
+	_ = r
+	fusedParams := mk()
+	unfusedParams := mk()
+	fused := NewAdam(0.01, true)
+	unfused := NewAdam(0.01, false)
+	ctx := nn.NewCtx(1)
+	for i := 0; i < 3; i++ {
+		fused.Step(ctx, fusedParams)
+		unfused.Step(ctx, unfusedParams)
+	}
+	for i := range fusedParams {
+		fd, ud := fusedParams[i].Value.Data(), unfusedParams[i].Value.Data()
+		for j := range fd {
+			if math.Abs(float64(fd[j]-ud[j])) > 1e-5 {
+				t.Fatalf("param %d elem %d: fused %v vs unfused %v", i, j, fd[j], ud[j])
+			}
+		}
+	}
+}
+
+func TestAdamFusionKernelAndTrafficRatios(t *testing.T) {
+	// Fig. 12a: fusing Adam collapses kernel count by orders of magnitude
+	// (~250× for ~400 tensors with multi-tensor apply) but cuts traffic
+	// and runtime only ~6-8× because per-tensor state is independent.
+	r := tensor.NewRNG(5)
+	const tensors = 320
+	mk := func() []*nn.Param {
+		ps := make([]*nn.Param, tensors)
+		for i := range ps {
+			ps[i] = makeParam("p", r, 64)
+		}
+		return ps
+	}
+	fusedCtx, unfusedCtx := nn.NewCtx(1), nn.NewCtx(1)
+	NewAdam(0.01, true).Step(fusedCtx, mk())
+	NewAdam(0.01, false).Step(unfusedCtx, mk())
+	fused := fusedCtx.Prof.Summarize().Total
+	unfused := unfusedCtx.Prof.Summarize().Total
+
+	kernelRatio := float64(unfused.Kernels) / float64(fused.Kernels)
+	if kernelRatio < 100 {
+		t.Fatalf("kernel-count ratio %v, want >= 100 (paper ~250x)", kernelRatio)
+	}
+	trafficRatio := float64(unfused.Bytes) / float64(fused.Bytes)
+	if trafficRatio < 2 || trafficRatio > 8.5 {
+		t.Fatalf("traffic ratio %v outside the paper's ~6-8x band", trafficRatio)
+	}
+}
+
+func TestAdamChunkingCountsLaunches(t *testing.T) {
+	r := tensor.NewRNG(6)
+	ps := make([]*nn.Param, 10)
+	for i := range ps {
+		ps[i] = makeParam("p", r, 8)
+	}
+	o := NewAdam(0.01, true)
+	o.MultiTensorChunk = 4
+	ctx := nn.NewCtx(1)
+	o.Step(ctx, ps)
+	if got := ctx.Prof.KernelCount(); got != 3 { // ceil(10/4)
+		t.Fatalf("fused launches = %d, want 3", got)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = ||w||²/2 (gradient = w); Adam must shrink w.
+	p := nn.NewParam("w", 8)
+	p.Value.Fill(1)
+	o := NewAdam(0.05, true)
+	ctx := nn.NewCtx(1)
+	for i := 0; i < 200; i++ {
+		copy(p.Grad.Data(), p.Value.Data())
+		o.Step(ctx, []*nn.Param{p})
+	}
+	for _, v := range p.Value.Data() {
+		if math.Abs(float64(v)) > 0.1 {
+			t.Fatalf("Adam failed to shrink weight: %v", v)
+		}
+	}
+}
+
+func TestLAMBConvergesOnQuadratic(t *testing.T) {
+	p := nn.NewParam("w", 8)
+	p.Value.Fill(1)
+	o := NewLAMB(0.02)
+	o.WeightDecay = 0
+	ctx := nn.NewCtx(1)
+	for i := 0; i < 200; i++ {
+		copy(p.Grad.Data(), p.Value.Data())
+		o.Step(ctx, []*nn.Param{p})
+	}
+	for _, v := range p.Value.Data() {
+		if math.Abs(float64(v)) > 0.5 {
+			t.Fatalf("LAMB failed to shrink weight: %v", v)
+		}
+	}
+}
+
+func TestOptimizerInterfaceCompliance(t *testing.T) {
+	var _ Optimizer = NewLAMB(0.1)
+	var _ Optimizer = NewAdam(0.1, true)
+	var _ Optimizer = NewSGD(0.1)
+}

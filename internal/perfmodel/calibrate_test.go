@@ -1,0 +1,63 @@
+package perfmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"demystbert/internal/device"
+	"demystbert/internal/model"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/profile"
+)
+
+// TestCalibrationReport prints the modeled proportions for the paper's
+// workloads; run with -v to inspect during device-model calibration.
+func TestCalibrationReport(t *testing.T) {
+	dev := device.MI100()
+	cfg := model.BERTLarge()
+	for _, w := range []opgraph.Workload{
+		opgraph.Phase1(cfg, 32, opgraph.FP32),
+		opgraph.Phase1(cfg, 4, opgraph.FP32),
+		opgraph.Phase2(cfg, 4, opgraph.FP32),
+		opgraph.Phase1(cfg, 32, opgraph.Mixed),
+		opgraph.Phase2(cfg, 4, opgraph.Mixed),
+		opgraph.Phase1(cfg, 16, opgraph.FP32),
+		opgraph.Phase2(cfg, 16, opgraph.FP32),
+	} {
+		r := Run(opgraph.Build(w), dev)
+		t.Logf("%-14s total=%8v Transformer=%5.1f%% LAMB=%5.1f%% Output=%5.1f%% Embed=%4.1f%% | GEMM=%5.1f%% Lin=%5.1f%% FC=%5.1f%% BG=%4.1f%% SM=%4.1f%% GeLU=%4.1f%% DRRCLN=%4.1f%% Other=%4.1f%% | Attn=%4.1f%% Lin+FC=%5.1f%%",
+			w.Name, r.Total.Round(1e6),
+			100*r.ClassShare(opgraph.ClassTransformer),
+			100*r.ClassShare(opgraph.ClassLAMB),
+			100*r.ClassShare(opgraph.ClassOutput),
+			100*r.ClassShare(opgraph.ClassEmbedding),
+			100*r.GEMMShare(),
+			100*r.CategoryShare(profile.CatLinear),
+			100*r.CategoryShare(profile.CatFCGEMM),
+			100*r.CategoryShare(profile.CatAttnBGEMM),
+			100*r.CategoryShare(profile.CatScaleMaskSM),
+			100*r.CategoryShare(profile.CatGeLU),
+			100*r.CategoryShare(profile.CatDRRCLN),
+			100*r.CategoryShare(profile.CatOther),
+			100*r.AttentionOpsShare(),
+			100*r.LinearFCShare())
+	}
+
+	// Mixed-precision speedup of forward+backward (paper: ~2×).
+	fp32 := Run(opgraph.Build(opgraph.Phase1(cfg, 32, opgraph.FP32)), dev)
+	mp := Run(opgraph.Build(opgraph.Phase1(cfg, 32, opgraph.Mixed)), dev)
+	fwdBwd32 := fp32.PhaseTime(profile.Forward) + fp32.PhaseTime(profile.Backward)
+	fwdBwd16 := mp.PhaseTime(profile.Forward) + mp.PhaseTime(profile.Backward)
+	t.Logf("MP FWD+BWD speedup: %.2fx (LAMB FP32=%v MP=%v)", float64(fwdBwd32)/float64(fwdBwd16),
+		fp32.ByClass()[opgraph.ClassLAMB].Round(1e6), mp.ByClass()[opgraph.ClassLAMB].Round(1e6))
+
+	// Checkpointing (paper: ~+33% kernels, ~+27% runtime).
+	ck := opgraph.Phase1(cfg, 32, opgraph.FP32)
+	ck.CheckpointEvery = 6
+	rck := Run(opgraph.Build(ck), dev)
+	t.Logf("checkpointing: kernels +%.1f%% runtime +%.1f%%",
+		100*(float64(rck.KernelCount())/float64(fp32.KernelCount())-1),
+		100*(float64(rck.Total)/float64(fp32.Total)-1))
+
+	fmt.Println() // keep fmt import for ad-hoc digging
+}

@@ -1,0 +1,183 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"demystbert/internal/device"
+	"demystbert/internal/model"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/profile"
+)
+
+// TestInferenceMode asserts the Section 7 inference discussion: no
+// backprop, no LAMB, Transformer-layer breakdown similar to training's
+// forward pass.
+func TestInferenceMode(t *testing.T) {
+	cfg := model.BERTLarge()
+	w := opgraph.Phase1(cfg, 32, opgraph.FP32)
+	w.Mode = opgraph.Inference
+	w.Optimizer = opgraph.OptNone
+	r := run(t, w)
+
+	if r.PhaseTime(profile.Backward) != 0 || r.PhaseTime(profile.Update) != 0 {
+		t.Fatal("inference must have no backward or update phase")
+	}
+	if r.LAMBShare() != 0 {
+		t.Fatal("inference must not include LAMB")
+	}
+
+	// The forward pass of training and the inference pass share the same
+	// transformer structure: GEMM share within the transformer must be
+	// close.
+	train := run(t, opgraph.Phase1(cfg, 32, opgraph.FP32))
+	fwdGEMM := 0.0
+	fwdTotal := 0.0
+	for _, ot := range train.Ops {
+		if ot.Op.Phase != profile.Forward || ot.Op.Class != opgraph.ClassTransformer {
+			continue
+		}
+		fwdTotal += ot.Total.Seconds()
+		if ot.Op.GEMM != nil {
+			fwdGEMM += ot.Total.Seconds()
+		}
+	}
+	infGEMM := 0.0
+	infTotal := 0.0
+	for _, ot := range r.Ops {
+		if ot.Op.Class != opgraph.ClassTransformer {
+			continue
+		}
+		infTotal += ot.Total.Seconds()
+		if ot.Op.GEMM != nil {
+			infGEMM += ot.Total.Seconds()
+		}
+	}
+	trainShare := fwdGEMM / fwdTotal
+	infShare := infGEMM / infTotal
+	if diff := trainShare - infShare; diff < -0.02 || diff > 0.02 {
+		t.Fatalf("transformer GEMM share differs between training-forward (%.3f) and inference (%.3f)",
+			trainShare, infShare)
+	}
+
+	// Inference must be much cheaper than a full training iteration
+	// (backprop ≈ 2× forward plus the update).
+	if float64(r.Total) > 0.45*float64(train.Total) {
+		t.Fatalf("inference %v vs training %v: should be well under half", r.Total, train.Total)
+	}
+}
+
+// TestFineTuningMode asserts Section 7's fine-tuning discussion: the task
+// head is negligible, the Transformer layers still dominate, and the
+// training-technique structure is unchanged.
+func TestFineTuningMode(t *testing.T) {
+	cfg := model.BERTLarge()
+	w := opgraph.Phase1(cfg, 32, opgraph.FP32)
+	w.Mode = opgraph.FineTuning
+	r := run(t, w)
+
+	if s := r.ClassShare(opgraph.ClassOutput); s > 0.02 {
+		t.Fatalf("fine-tuning output-head share %.3f should be negligible (simpler than pre-training)", s)
+	}
+	if s := r.ClassShare(opgraph.ClassTransformer); s < 0.80 {
+		t.Fatalf("transformer share %.3f must dominate fine-tuning", s)
+	}
+	if r.LAMBShare() == 0 {
+		t.Fatal("fine-tuning still runs the optimizer")
+	}
+
+	// Pre-training is more expensive than fine-tuning only via the
+	// output layer; iteration times are otherwise close.
+	pre := run(t, opgraph.Phase1(cfg, 32, opgraph.FP32))
+	ratio := float64(pre.Total) / float64(r.Total)
+	if ratio < 1.0 || ratio > 1.2 {
+		t.Fatalf("pretrain/finetune time ratio %.3f; should be slightly above 1", ratio)
+	}
+}
+
+// TestTakeawaysStableAcrossDevices verifies the paper's Section 7 claim
+// that the ordering-level takeaways are architecture-agnostic: they hold
+// on every device preset, and memory-boundedness grows when compute
+// improves faster than memory.
+func TestTakeawaysStableAcrossDevices(t *testing.T) {
+	cfg := model.BERTLarge()
+	for _, dev := range device.Presets() {
+		b32 := Run(opgraph.Build(opgraph.Phase1(cfg, 32, opgraph.FP32)), dev)
+		b4 := Run(opgraph.Build(opgraph.Phase1(cfg, 4, opgraph.FP32)), dev)
+		mp := Run(opgraph.Build(opgraph.Phase1(cfg, 32, opgraph.Mixed)), dev)
+
+		name := dev.Name
+		if s := b32.ClassShare(opgraph.ClassTransformer); s < 0.55 {
+			t.Errorf("%s: transformer share %.3f lost dominance", name, s)
+		}
+		if b4.LAMBShare() <= b32.LAMBShare() {
+			t.Errorf("%s: LAMB share did not grow with fewer tokens", name)
+		}
+		if mp.LAMBShare() <= b32.LAMBShare() {
+			t.Errorf("%s: LAMB share did not grow under MP", name)
+		}
+		if mp.GEMMShare() >= b32.GEMMShare() {
+			t.Errorf("%s: GEMM share did not drop under MP", name)
+		}
+		// LAMB's exact rank is distribution-dependent (Section 7 notes
+		// runtime-distribution takeaways can shift across accelerators);
+		// it must at least stay well above the embedding everywhere.
+		cls := b32.ByClass()
+		if cls[opgraph.ClassLAMB] <= cls[opgraph.ClassEmbedding] {
+			t.Errorf("%s: LAMB fell below the embedding layer", name)
+		}
+	}
+
+	// Takeaways 7-9 amplify when compute improves faster than memory.
+	base := Run(opgraph.Build(opgraph.Phase1(cfg, 32, opgraph.FP32)), device.MI100())
+	fast := Run(opgraph.Build(opgraph.Phase1(cfg, 32, opgraph.FP32)), device.MI100().Scale(2, 1, 1))
+	if fast.LAMBShare() <= base.LAMBShare() {
+		t.Error("memory-bound LAMB share must grow on a compute-rich device")
+	}
+	if fast.GEMMShare() >= base.GEMMShare() {
+		t.Error("GEMM share must shrink on a compute-rich device")
+	}
+}
+
+func TestRunModeString(t *testing.T) {
+	if opgraph.Pretraining.String() != "pretrain" ||
+		opgraph.FineTuning.String() != "finetune" ||
+		opgraph.Inference.String() != "inference" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+// TestOptimizerChoice: the update phase's cost ordering — SGD < Adam <
+// LAMB — and LAMB's extra serialization (global norm) and trust-ratio
+// stage explain why the paper singles LAMB out for optimization.
+func TestOptimizerChoice(t *testing.T) {
+	cfg := model.BERTLarge()
+	mk := func(k opgraph.OptimizerKind) *Result {
+		w := opgraph.Phase1(cfg, 32, opgraph.FP32)
+		w.Optimizer = k
+		return run(t, w)
+	}
+	lamb := mk(opgraph.OptLAMB).ByClass()[opgraph.ClassLAMB]
+	adam := mk(opgraph.OptAdam).ByClass()[opgraph.ClassLAMB]
+	sgd := mk(opgraph.OptSGD).ByClass()[opgraph.ClassLAMB]
+	if !(sgd < adam && adam < lamb) {
+		t.Fatalf("update-phase cost ordering violated: SGD %v, Adam %v, LAMB %v", sgd, adam, lamb)
+	}
+	// Fused Adam reads the same 7 arrays but launches far fewer kernels
+	// than LAMB's per-layer two-stage organization.
+	var lambKernels, adamKernels int
+	for _, op := range opgraph.Build(opgraph.Phase1(cfg, 32, opgraph.FP32)).Ops {
+		if op.Class == opgraph.ClassLAMB {
+			lambKernels += op.Repeat
+		}
+	}
+	w := opgraph.Phase1(cfg, 32, opgraph.FP32)
+	w.Optimizer = opgraph.OptAdam
+	for _, op := range opgraph.Build(w).Ops {
+		if op.Class == opgraph.ClassLAMB {
+			adamKernels += op.Repeat
+		}
+	}
+	if adamKernels >= lambKernels {
+		t.Fatalf("fused Adam launches %d kernels vs LAMB's %d", adamKernels, lambKernels)
+	}
+}

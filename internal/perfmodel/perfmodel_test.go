@@ -1,0 +1,309 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"demystbert/internal/device"
+	"demystbert/internal/model"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/profile"
+)
+
+func run(t *testing.T, w opgraph.Workload) *Result {
+	t.Helper()
+	return Run(opgraph.Build(w), device.MI100())
+}
+
+func between(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %.3f outside [%.3f, %.3f]", name, got, lo, hi)
+	}
+}
+
+// TestFig3Bands asserts the paper's Fig. 3 runtime-breakdown claims for
+// every configuration it plots.
+func TestFig3Bands(t *testing.T) {
+	cfg := model.BERTLarge()
+
+	// Obs. 1: Transformer layers dominate (68-85%) in every config.
+	for _, w := range []opgraph.Workload{
+		opgraph.Phase1(cfg, 32, opgraph.FP32),
+		opgraph.Phase1(cfg, 4, opgraph.FP32),
+		opgraph.Phase2(cfg, 4, opgraph.FP32),
+		opgraph.Phase1(cfg, 32, opgraph.Mixed),
+		opgraph.Phase2(cfg, 4, opgraph.Mixed),
+	} {
+		r := run(t, w)
+		between(t, w.Name+" transformer share", r.ClassShare(opgraph.ClassTransformer), 0.66, 0.87)
+		between(t, w.Name+" output share", r.ClassShare(opgraph.ClassOutput), 0.015, 0.08)
+		if s := r.ClassShare(opgraph.ClassEmbedding); s > 0.02 {
+			t.Errorf("%s embedding share %.3f should be negligible", w.Name, s)
+		}
+	}
+
+	// Takeaway 1: LAMB is the second-highest contributor: 7-10% at high
+	// token count, rising to ~25% as tokens per iteration shrink.
+	b32 := run(t, opgraph.Phase1(cfg, 32, opgraph.FP32))
+	between(t, "LAMB share Ph1-B32-FP32", b32.LAMBShare(), 0.06, 0.11)
+	b4 := run(t, opgraph.Phase1(cfg, 4, opgraph.FP32))
+	between(t, "LAMB share Ph1-B4-FP32", b4.LAMBShare(), 0.20, 0.28)
+	if b4.LAMBShare() <= b32.LAMBShare() {
+		t.Error("LAMB share must grow as token count shrinks")
+	}
+
+	// Takeaway 2: mixed precision raises LAMB's share to 16-19%.
+	mp := run(t, opgraph.Phase1(cfg, 32, opgraph.Mixed))
+	between(t, "LAMB share Ph1-B32-FP16", mp.LAMBShare(), 0.15, 0.20)
+
+	// LAMB must be the second-highest class after Transformer.
+	classes := b32.ByClass()
+	if classes[opgraph.ClassLAMB] <= classes[opgraph.ClassEmbedding] ||
+		classes[opgraph.ClassLAMB] <= classes[opgraph.ClassOutput] {
+		t.Error("LAMB must be the second-highest contributor (Takeaway 1)")
+	}
+}
+
+// TestFig4Bands asserts the hierarchical-breakdown claims (Obs. 2,
+// Takeaways 3-4).
+func TestFig4Bands(t *testing.T) {
+	cfg := model.BERTLarge()
+	fp32 := run(t, opgraph.Phase1(cfg, 32, opgraph.FP32))
+	mp := run(t, opgraph.Phase1(cfg, 32, opgraph.Mixed))
+
+	// Obs. 2: Linear+FC dominate at ~57% FP32; Takeaway 3: drops to ~42% MP.
+	between(t, "Linear+FC share FP32", fp32.LinearFCShare(), 0.48, 0.60)
+	between(t, "Linear+FC share MP", mp.LinearFCShare(), 0.33, 0.45)
+	if mp.LinearFCShare() >= fp32.LinearFCShare() {
+		t.Error("reduced precision must shrink the Linear+FC share (Takeaway 3)")
+	}
+
+	// Linear ops alone: 22% FP32 / 19% MP.
+	between(t, "Linear share FP32", fp32.CategoryShare(profile.CatLinear), 0.17, 0.26)
+	between(t, "Linear share MP", mp.CategoryShare(profile.CatLinear), 0.14, 0.23)
+
+	// Takeaway 4: the attention operation itself is small: 7% FP32 / 9%
+	// MP, and grows under MP.
+	between(t, "attention ops share FP32", fp32.AttentionOpsShare(), 0.05, 0.13)
+	between(t, "attention ops share MP", mp.AttentionOpsShare(), 0.07, 0.17)
+	if mp.AttentionOpsShare() <= fp32.AttentionOpsShare() {
+		t.Error("attention ops share must grow under MP")
+	}
+
+	// DR+RC+LN: small but non-negligible (5% FP32, 9% MP), grows under MP.
+	between(t, "DRRCLN share FP32", fp32.CategoryShare(profile.CatDRRCLN), 0.04, 0.09)
+	if mp.CategoryShare(profile.CatDRRCLN) <= fp32.CategoryShare(profile.CatDRRCLN) {
+		t.Error("DR+RC+LN share must grow under MP")
+	}
+
+	// GeLU is a noticeable fraction of the FC block (13% FP32, 15% MP).
+	fcBar32 := fp32.CategoryShare(profile.CatFCGEMM) + fp32.CategoryShare(profile.CatGeLU)
+	geluFrac := fp32.CategoryShare(profile.CatGeLU) / fcBar32
+	between(t, "GeLU fraction of FC block FP32", geluFrac, 0.08, 0.25)
+}
+
+// TestGEMMShareBands asserts Section 3.2.2's totals: GEMMs are ~55% of
+// FP32 time and ~36% of MP time.
+func TestGEMMShareBands(t *testing.T) {
+	cfg := model.BERTLarge()
+	fp32 := run(t, opgraph.Phase1(cfg, 32, opgraph.FP32))
+	mp := run(t, opgraph.Phase1(cfg, 32, opgraph.Mixed))
+	between(t, "GEMM share FP32", fp32.GEMMShare(), 0.50, 0.68)
+	between(t, "GEMM share MP", mp.GEMMShare(), 0.33, 0.52)
+	if mp.GEMMShare() >= fp32.GEMMShare() {
+		t.Error("GEMM share must drop under MP (GEMMs speed up more)")
+	}
+	// Non-GEMM ops: 45% FP32 → majority in MP (Takeaways 8-9).
+	if nonGEMM := 1 - mp.GEMMShare(); nonGEMM < 0.48 {
+		t.Errorf("MP non-GEMM share %.2f should be the majority", nonGEMM)
+	}
+}
+
+// TestMixedPrecisionSpeedup asserts the paper's ~2x FWD+BWD speedup with
+// LAMB time unchanged (Section 3.2.1).
+func TestMixedPrecisionSpeedup(t *testing.T) {
+	cfg := model.BERTLarge()
+	fp32 := run(t, opgraph.Phase1(cfg, 32, opgraph.FP32))
+	mp := run(t, opgraph.Phase1(cfg, 32, opgraph.Mixed))
+
+	fb32 := fp32.PhaseTime(profile.Forward) + fp32.PhaseTime(profile.Backward)
+	fb16 := mp.PhaseTime(profile.Forward) + mp.PhaseTime(profile.Backward)
+	speedup := float64(fb32) / float64(fb16)
+	between(t, "MP FWD+BWD speedup", speedup, 1.7, 2.7)
+
+	l32 := fp32.ByClass()[opgraph.ClassLAMB]
+	l16 := mp.ByClass()[opgraph.ClassLAMB]
+	if l32 != l16 {
+		t.Errorf("LAMB time changed under MP: %v vs %v", l32, l16)
+	}
+}
+
+// TestFig8InputSweep asserts the input-size effects of Section 3.3.1.
+func TestFig8InputSweep(t *testing.T) {
+	cfg := model.BERTLarge()
+
+	// LAMB share falls monotonically from ~25% (B=4) to ~7-10% (B=32).
+	var prev float64 = 1
+	for _, b := range []int{4, 8, 16, 32} {
+		r := run(t, opgraph.Phase1(cfg, b, opgraph.FP32))
+		s := r.LAMBShare()
+		if s >= prev {
+			t.Errorf("LAMB share did not fall at B=%d: %.3f >= %.3f", b, s, prev)
+		}
+		prev = s
+	}
+
+	// Takeaway 10: raising n from 128 (B=16) to 512 (B=4) — same token
+	// count — raises the attention-ops share (paper: 7% → 17%).
+	r128 := run(t, opgraph.Phase1(cfg, 16, opgraph.FP32))
+	r512 := run(t, opgraph.Phase2(cfg, 4, opgraph.FP32))
+	a128, a512 := r128.AttentionOpsShare(), r512.AttentionOpsShare()
+	if a512 < a128+0.05 {
+		t.Errorf("attention share must grow strongly with n: %.3f -> %.3f", a128, a512)
+	}
+	// Iteration time per token grows super-linearly with n: same tokens,
+	// higher cost.
+	if r512.Total <= r128.Total {
+		t.Error("Ph2 at equal tokens must be slower than Ph1 (quadratic attention)")
+	}
+}
+
+// TestFig9ModelSweep asserts the layer-size effects of Section 3.3.2.
+func TestFig9ModelSweep(t *testing.T) {
+	mk := func(d int) *Result {
+		cfg := model.BERTLarge()
+		cfg.DModel = d
+		cfg.DFF = 4 * d
+		cfg.Heads = d / 64
+		return run(t, opgraph.Phase1(cfg, 4, opgraph.FP32))
+	}
+	c1, c2, c3 := mk(512), mk(1024), mk(2048)
+
+	// Takeaway 11: GEMM and LAMB proportions grow with layer width. GEMM
+	// growth is measured within forward+backward, since LAMB itself also
+	// grows quadratically and competes for overall share.
+	fbShare := func(r *Result) float64 {
+		fb := r.PhaseTime(profile.Forward) + r.PhaseTime(profile.Backward)
+		gemm := r.ByCategory()[profile.CatLinear] + r.ByCategory()[profile.CatFCGEMM]
+		return float64(gemm) / float64(fb)
+	}
+	if !(fbShare(c1) < fbShare(c2) && fbShare(c2) < fbShare(c3)) {
+		t.Errorf("Linear+FC share of FWD+BWD must grow with width: %.3f %.3f %.3f",
+			fbShare(c1), fbShare(c2), fbShare(c3))
+	}
+	if !(c1.LAMBShare() < c2.LAMBShare() && c2.LAMBShare() < c3.LAMBShare()) {
+		t.Errorf("LAMB share must grow with width: %.3f %.3f %.3f",
+			c1.LAMBShare(), c2.LAMBShare(), c3.LAMBShare())
+	}
+	// Paper: LAMB reaches ~34% for the Megatron-like C3.
+	between(t, "LAMB share C3", c3.LAMBShare(), 0.25, 0.40)
+
+	// Obs. 4: layer count scales both Transformer and LAMB linearly, so
+	// proportions barely move.
+	cfg := model.BERTLarge()
+	cfg.NumLayers = 48
+	deep := run(t, opgraph.Phase1(cfg, 4, opgraph.FP32))
+	if diff := deep.LAMBShare() - c2.LAMBShare(); diff < -0.05 || diff > 0.05 {
+		t.Errorf("LAMB share changed by %.3f when doubling layers; should be ~stable", diff)
+	}
+}
+
+// TestCheckpointing asserts Section 4's ~+33% kernels / ~+27% runtime.
+func TestCheckpointing(t *testing.T) {
+	cfg := model.BERTLarge()
+	base := run(t, opgraph.Phase1(cfg, 32, opgraph.FP32))
+	w := opgraph.Phase1(cfg, 32, opgraph.FP32)
+	w.CheckpointEvery = 6
+	ck := run(t, w)
+
+	kinc := float64(ck.KernelCount())/float64(base.KernelCount()) - 1
+	rinc := float64(ck.Total)/float64(base.Total) - 1
+	between(t, "checkpoint kernel increase", kinc, 0.25, 0.40)
+	between(t, "checkpoint runtime increase", rinc, 0.18, 0.33)
+
+	// LAMB is unaffected, so its proportion drops.
+	if ck.LAMBShare() >= base.LAMBShare() {
+		t.Error("LAMB share must drop under checkpointing")
+	}
+}
+
+// TestFig7Characteristics asserts the arithmetic-intensity and bandwidth
+// structure of Fig. 7.
+func TestFig7Characteristics(t *testing.T) {
+	r := run(t, opgraph.Phase1(model.BERTLarge(), 32, opgraph.FP32))
+
+	intensity := r.CategoryIntensity()
+	// Memory-bound categories all sit at very low ops/byte.
+	for _, c := range []profile.Category{
+		profile.CatLAMBStage1, profile.CatLAMBStage2, profile.CatDRRCLN,
+		profile.CatScaleMaskSM, profile.CatGeLU,
+	} {
+		if intensity[c] > 4 {
+			t.Errorf("%s intensity %.2f should be < 4 ops/byte", c, intensity[c])
+		}
+	}
+	// FC GEMMs are far more compute-intense than any EW category.
+	if intensity[profile.CatFCGEMM] < 50 {
+		t.Errorf("FC GEMM intensity %.1f should be high", intensity[profile.CatFCGEMM])
+	}
+
+	bw := r.CategoryBW()
+	// Attention BGEMMs demand much higher bandwidth than FC GEMMs
+	// (paper: 70% vs 20% of the EW-max).
+	if bw[profile.CatAttnBGEMM] < 2*bw[profile.CatFCGEMM] {
+		t.Errorf("attention BGEMM BW %.2e should far exceed FC GEMM BW %.2e",
+			bw[profile.CatAttnBGEMM], bw[profile.CatFCGEMM])
+	}
+	// LAMB stages sit below the element-wise ceiling.
+	if bw[profile.CatLAMBStage1] >= bw[profile.CatDRRCLN] {
+		t.Error("LAMB bandwidth should sit below plain EW categories")
+	}
+}
+
+func TestResultAggregations(t *testing.T) {
+	r := run(t, opgraph.Phase1(model.Tiny(), 2, opgraph.FP32))
+	var sum float64
+	for _, c := range []opgraph.LayerClass{
+		opgraph.ClassTransformer, opgraph.ClassEmbedding,
+		opgraph.ClassOutput, opgraph.ClassLAMB,
+	} {
+		sum += r.ClassShare(c)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("class shares sum to %v, want 1", sum)
+	}
+	if r.KernelCount() != r.Graph.KernelCount() {
+		t.Fatal("kernel counts disagree")
+	}
+	if r.Total <= 0 {
+		t.Fatal("total time must be positive")
+	}
+}
+
+func TestEmptyResultSharesAreZero(t *testing.T) {
+	r := &Result{Graph: &opgraph.Graph{}}
+	if r.GEMMShare() != 0 || r.ClassShare(opgraph.ClassLAMB) != 0 || r.CategoryShare(profile.CatGeLU) != 0 {
+		t.Fatal("empty result must report zero shares")
+	}
+}
+
+// Throughput grows with B (Obs. 3: "increasing it sometimes improves
+// throughput") but sub-linearly once the accelerator saturates.
+func TestThroughputGrowsWithBatch(t *testing.T) {
+	cfg := model.BERTLarge()
+	var prev float64
+	for _, b := range []int{4, 8, 16, 32} {
+		r := run(t, opgraph.Phase1(cfg, b, opgraph.FP32))
+		tps := r.TokensPerSecond()
+		if tps <= prev {
+			t.Fatalf("tokens/s did not grow at B=%d: %.0f vs %.0f", b, tps, prev)
+		}
+		prev = tps
+	}
+	// Super-linear cost in n: Ph2 at the same tokens has lower throughput.
+	ph1 := run(t, opgraph.Phase1(cfg, 16, opgraph.FP32)).TokensPerSecond()
+	ph2 := run(t, opgraph.Phase2(cfg, 4, opgraph.FP32)).TokensPerSecond()
+	if ph2 >= ph1 {
+		t.Fatalf("n=512 throughput %.0f should trail n=128's %.0f at equal tokens", ph2, ph1)
+	}
+}

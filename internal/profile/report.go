@@ -1,0 +1,36 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteReport renders a rocProf-style text report of the summary to w:
+// one row per category sorted by runtime share, with kernel counts, total
+// duration, FLOPs, bytes, achieved arithmetic intensity, and share of the
+// iteration.
+func (s Summary) WriteReport(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-15s %8s %12s %14s %14s %9s %7s\n",
+		"category", "kernels", "time", "flops", "bytes", "ops/byte", "share")
+	for _, c := range s.Categories() {
+		st := s.ByCategory[c]
+		fmt.Fprintf(w, "%-15s %8d %12v %14d %14d %9.2f %6.1f%%\n",
+			c, st.Kernels, st.Duration.Round(1000), st.FLOPs, st.Bytes,
+			st.Intensity(), 100*s.Share(c))
+	}
+	fmt.Fprintf(w, "%-15s %8d %12v %14d %14d %9.2f %6.1f%%\n",
+		"TOTAL", s.Total.Kernels, s.Total.Duration.Round(1000),
+		s.Total.FLOPs, s.Total.Bytes, s.Total.Intensity(), 100.0)
+	fmt.Fprintf(w, "phases: ")
+	for _, ph := range []Phase{Forward, Backward, Update} {
+		st := s.ByPhase[ph]
+		share := 0.0
+		if s.Total.Duration > 0 {
+			share = float64(st.Duration) / float64(s.Total.Duration)
+		}
+		fmt.Fprintf(w, "%s=%.1f%% ", ph, 100*share)
+	}
+	fmt.Fprintln(w)
+}

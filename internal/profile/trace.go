@@ -1,0 +1,67 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeTraceEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto), the de-facto interchange format GPU
+// profilers including rocProf export to.
+type chromeTraceEvent struct {
+	Name     string            `json:"name"`
+	Category string            `json:"cat"`
+	Phase    string            `json:"ph"`
+	TSMicros float64           `json:"ts"`
+	DurMicro float64           `json:"dur"`
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recorded events as a Chrome trace-event
+// JSON array, loadable in chrome://tracing or Perfetto. Each training
+// phase renders as its own track (tid); kernel FLOPs and bytes appear as
+// event args. Events recorded without a start timestamp are laid out
+// back-to-back.
+func (p *Profiler) WriteChromeTrace(w io.Writer) error {
+	events := p.Events()
+	out := make([]chromeTraceEvent, 0, len(events))
+
+	var origin time.Time
+	for _, e := range events {
+		if !e.Start.IsZero() {
+			if origin.IsZero() || e.Start.Before(origin) {
+				origin = e.Start
+			}
+		}
+	}
+	var synthetic time.Duration
+	for _, e := range events {
+		var ts float64
+		if e.Start.IsZero() {
+			ts = float64(synthetic.Microseconds())
+			synthetic += e.Duration
+		} else {
+			ts = float64(e.Start.Sub(origin).Microseconds())
+		}
+		out = append(out, chromeTraceEvent{
+			Name:     e.Kernel,
+			Category: string(e.Category),
+			Phase:    "X",
+			TSMicros: ts,
+			DurMicro: float64(e.Duration.Microseconds()),
+			PID:      1,
+			TID:      int(e.Phase) + 1,
+			Args: map[string]string{
+				"flops": fmt.Sprint(e.FLOPs),
+				"bytes": fmt.Sprint(e.Bytes),
+				"phase": e.Phase.String(),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

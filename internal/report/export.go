@@ -1,0 +1,103 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"demystbert/internal/perfmodel"
+)
+
+// CategoryRow is one line of the machine-readable breakdown export.
+type CategoryRow struct {
+	Category  string  `json:"category"`
+	Kernels   int     `json:"kernels"`
+	TimeMS    float64 `json:"time_ms"`
+	Share     float64 `json:"share"`
+	GFLOPs    float64 `json:"gflops"`
+	GBytes    float64 `json:"gbytes"`
+	Intensity float64 `json:"ops_per_byte"`
+}
+
+// ResultExport is the machine-readable form of one characterized
+// workload, suitable for plotting pipelines.
+type ResultExport struct {
+	Workload   string        `json:"workload"`
+	Device     string        `json:"device"`
+	TotalMS    float64       `json:"total_ms"`
+	GEMMShare  float64       `json:"gemm_share"`
+	LAMBShare  float64       `json:"lamb_share"`
+	Categories []CategoryRow `json:"categories"`
+}
+
+// Export converts a perfmodel result into its machine-readable form,
+// categories sorted by descending time.
+func Export(r *perfmodel.Result) ResultExport {
+	kernels := map[string]int{}
+	flops := map[string]int64{}
+	bytes := map[string]int64{}
+	for _, ot := range r.Ops {
+		c := string(ot.Op.Category)
+		kernels[c] += ot.Op.Repeat
+		flops[c] += ot.Op.TotalFLOPs()
+		bytes[c] += ot.Op.TotalBytes()
+	}
+
+	out := ResultExport{
+		Workload:  r.Graph.Workload.Name,
+		Device:    r.Device.Name,
+		TotalMS:   1e3 * r.Total.Seconds(),
+		GEMMShare: r.GEMMShare(),
+		LAMBShare: r.LAMBShare(),
+	}
+	times := r.ByCategory()
+	for _, c := range sortedCategories(times) {
+		row := CategoryRow{
+			Category: string(c),
+			Kernels:  kernels[string(c)],
+			TimeMS:   1e3 * times[c].Seconds(),
+			Share:    r.CategoryShare(c),
+			GFLOPs:   float64(flops[string(c)]) / 1e9,
+			GBytes:   float64(bytes[string(c)]) / 1e9,
+		}
+		if bytes[string(c)] > 0 {
+			row.Intensity = float64(flops[string(c)]) / float64(bytes[string(c)])
+		}
+		out.Categories = append(out.Categories, row)
+	}
+	return out
+}
+
+// WriteJSON emits the export as indented JSON.
+func WriteJSON(w io.Writer, r *perfmodel.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Export(r))
+}
+
+// WriteCSV emits the export as CSV with a header row.
+func WriteCSV(w io.Writer, r *perfmodel.Result) error {
+	e := Export(r)
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "device", "category", "kernels", "time_ms", "share", "gflops", "gbytes", "ops_per_byte",
+	}); err != nil {
+		return err
+	}
+	for _, row := range e.Categories {
+		if err := cw.Write([]string{
+			e.Workload, e.Device, row.Category,
+			fmt.Sprint(row.Kernels),
+			fmt.Sprintf("%.4f", row.TimeMS),
+			fmt.Sprintf("%.5f", row.Share),
+			fmt.Sprintf("%.3f", row.GFLOPs),
+			fmt.Sprintf("%.3f", row.GBytes),
+			fmt.Sprintf("%.3f", row.Intensity),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,87 @@
+// Package report renders every table and figure of the paper's evaluation
+// as text: runtime-breakdown bars (Fig. 3, 4, 8, 9, 11), GEMM arithmetic
+// intensities (Fig. 6, Table 2b), operator bandwidth characteristics
+// (Fig. 7), the checkpointing study (Section 4), the fusion studies
+// (Fig. 12), the NMC study (Section 6.2.1), and a programmatic check of
+// the paper's takeaways (Table 1).
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"demystbert/internal/device"
+	"demystbert/internal/opgraph"
+	"demystbert/internal/perfmodel"
+	"demystbert/internal/profile"
+)
+
+// bar renders a proportional ASCII bar for a share in [0, 1].
+func bar(share float64, width int) string {
+	n := int(share*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// breakdownRow prints one labeled share with a bar.
+func breakdownRow(w io.Writer, label string, share float64) {
+	fmt.Fprintf(w, "  %-28s %6.1f%% |%s|\n", label, 100*share, bar(share, 40))
+}
+
+// classBreakdown prints a Fig. 3-style layer-class decomposition.
+func classBreakdown(w io.Writer, name string, r *perfmodel.Result) {
+	fmt.Fprintf(w, "%s (modeled iteration: %v)\n", name, r.Total.Round(time.Millisecond))
+	for _, c := range []opgraph.LayerClass{
+		opgraph.ClassTransformer, opgraph.ClassOutput,
+		opgraph.ClassEmbedding, opgraph.ClassLAMB,
+	} {
+		breakdownRow(w, c.String(), r.ClassShare(c))
+	}
+}
+
+// categoryOrder is the display order for operator categories.
+var categoryOrder = []profile.Category{
+	profile.CatLinear, profile.CatAttnBGEMM, profile.CatScaleMaskSM,
+	profile.CatFCGEMM, profile.CatGeLU, profile.CatDRRCLN,
+	profile.CatOther, profile.CatEmbedding, profile.CatOutput,
+	profile.CatLAMBStage1, profile.CatLAMBStage2,
+}
+
+// categoryBreakdown prints a Fig. 4/8/9-style operator decomposition.
+func categoryBreakdown(w io.Writer, name string, r *perfmodel.Result) {
+	fmt.Fprintf(w, "%s (modeled iteration: %v, GEMM share %.1f%%, %.0fk tokens/s)\n",
+		name, r.Total.Round(time.Millisecond), 100*r.GEMMShare(), r.TokensPerSecond()/1e3)
+	for _, c := range categoryOrder {
+		if s := r.CategoryShare(c); s > 0.001 {
+			breakdownRow(w, string(c), s)
+		}
+	}
+}
+
+// sortedCategories returns the categories of a map sorted by name for
+// deterministic output.
+func sortedCategories[V any](m map[profile.Category]V) []profile.Category {
+	out := make([]profile.Category, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// runOn is a small helper wrapping build+run.
+func runOn(w opgraph.Workload, dev device.Device) *perfmodel.Result {
+	return perfmodel.Run(opgraph.Build(w), dev)
+}

@@ -1,0 +1,88 @@
+package tensor
+
+import "math"
+
+// F16 is an IEEE-754 binary16 value stored in a uint16. The engine uses it
+// to emulate the storage half of mixed-precision training: activations and
+// gradients can be round-tripped through F16 so that the numerical effect
+// of reduced precision is observable, while arithmetic remains float32
+// (the paper's MP training likewise accumulates in higher precision).
+type F16 uint16
+
+// ToF16 converts a float32 to binary16 with round-to-nearest-even,
+// handling subnormals, infinities, and NaN.
+func ToF16(f float32) F16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xFF) - 127 + 15
+	mant := bits & 0x7FFFFF
+
+	switch {
+	case bits&0x7FFFFFFF == 0: // signed zero
+		return F16(sign)
+	case exp >= 0x1F: // overflow or inf/nan
+		if bits&0x7F800000 == 0x7F800000 && mant != 0 {
+			return F16(sign | 0x7E00) // NaN (quiet)
+		}
+		return F16(sign | 0x7C00) // Inf
+	case exp <= 0:
+		// Subnormal half, or underflow to zero.
+		if exp < -10 {
+			return F16(sign)
+		}
+		mant |= 0x800000 // restore implicit bit
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := (mant + half - 1 + (mant>>shift)&1) >> shift
+		return F16(sign | uint16(rounded))
+	default:
+		// Normal: round mantissa from 23 to 10 bits, nearest-even.
+		rounded := mant + 0xFFF + (mant>>13)&1
+		if rounded&0x800000 != 0 { // mantissa overflowed into exponent
+			rounded = 0
+			exp++
+			if exp >= 0x1F {
+				return F16(sign | 0x7C00)
+			}
+		}
+		return F16(sign | uint16(exp)<<10 | uint16(rounded>>13))
+	}
+}
+
+// Float32 converts a binary16 back to float32 exactly.
+func (h F16) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	mant := uint32(h & 0x3FF)
+
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1F:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7F800000)
+		}
+		return math.Float32frombits(sign | 0x7F800000 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// RoundTripF16 quantizes every element of t through binary16 in place,
+// emulating a store-to-half / load-from-half pair.
+func RoundTripF16(t *Tensor) {
+	d := t.Data()
+	for i, v := range d {
+		d[i] = ToF16(v).Float32()
+	}
+}

@@ -1,0 +1,143 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestF16KnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits F16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},        // largest finite half
+		{5.9604645e-8, 0x0001}, // smallest subnormal
+		{6.1035156e-5, 0x0400}, // smallest normal
+		{float32(math.Inf(1)), 0x7C00},
+		{float32(math.Inf(-1)), 0xFC00},
+	}
+	for _, c := range cases {
+		if got := ToF16(c.f); got != c.bits {
+			t.Errorf("ToF16(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+	}
+}
+
+func TestF16NegativeZero(t *testing.T) {
+	negZero := math.Float32frombits(0x80000000)
+	if got := ToF16(negZero); got != 0x8000 {
+		t.Fatalf("ToF16(-0) = %#04x, want 0x8000", got)
+	}
+	if bits := math.Float32bits(F16(0x8000).Float32()); bits != 0x80000000 {
+		t.Fatalf("F16(-0).Float32() bits = %#08x", bits)
+	}
+}
+
+func TestF16NaN(t *testing.T) {
+	h := ToF16(float32(math.NaN()))
+	if h&0x7C00 != 0x7C00 || h&0x3FF == 0 {
+		t.Fatalf("ToF16(NaN) = %#04x is not a half NaN", h)
+	}
+	if !math.IsNaN(float64(h.Float32())) {
+		t.Fatal("half NaN did not convert back to NaN")
+	}
+}
+
+func TestF16Overflow(t *testing.T) {
+	if got := ToF16(1e9); got != 0x7C00 {
+		t.Fatalf("ToF16(1e9) = %#04x, want +Inf", got)
+	}
+	if got := ToF16(-1e9); got != 0xFC00 {
+		t.Fatalf("ToF16(-1e9) = %#04x, want -Inf", got)
+	}
+	// 65520 is the round-to-even boundary: rounds to +Inf.
+	if got := ToF16(65520); got != 0x7C00 {
+		t.Fatalf("ToF16(65520) = %#04x, want +Inf", got)
+	}
+}
+
+func TestF16Underflow(t *testing.T) {
+	if got := ToF16(1e-10); got != 0 {
+		t.Fatalf("ToF16(1e-10) = %#04x, want 0", got)
+	}
+}
+
+// Property: every value exactly representable in binary16 round-trips
+// float32 -> F16 -> float32 without change.
+func TestF16ExactRoundTripProperty(t *testing.T) {
+	f := func(h uint16) bool {
+		v := F16(h).Float32()
+		if math.IsNaN(float64(v)) {
+			return math.IsNaN(float64(ToF16(v).Float32()))
+		}
+		return ToF16(v) == F16(h) || ToF16(v).Float32() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the relative quantization error of normal-range values is
+// bounded by half-ULP of binary16 (2^-11).
+func TestF16RelativeErrorProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		v := (r.Float32()*2 - 1) * 1000 // [-1000, 1000)
+		if v == 0 {
+			return true
+		}
+		got := ToF16(v).Float32()
+		relErr := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		return relErr <= 1.0/2048.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF16MonotonicOnSamples(t *testing.T) {
+	// Conversion must preserve ordering (quantization is monotone).
+	prev := float32(math.Inf(-1))
+	for x := float32(-70000); x <= 70000; x += 37.3 {
+		h := ToF16(x).Float32()
+		if h < prev {
+			t.Fatalf("non-monotone conversion at %v: %v < %v", x, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestRoundTripF16Tensor(t *testing.T) {
+	x := New(100)
+	x.FillUniform(NewRNG(9), -10, 10)
+	orig := x.Clone()
+	RoundTripF16(x)
+	for i := range x.Data() {
+		want := ToF16(orig.Data()[i]).Float32()
+		if x.Data()[i] != want {
+			t.Fatalf("element %d: got %v want %v", i, x.Data()[i], want)
+		}
+	}
+}
+
+func TestF16AllExhaustiveDecodeEncodeConsistency(t *testing.T) {
+	// For every one of the 65536 half patterns, decode then re-encode.
+	// All non-NaN values must reproduce a pattern decoding to the same
+	// float32 value.
+	for h := 0; h < 1<<16; h++ {
+		v := F16(h).Float32()
+		if math.IsNaN(float64(v)) {
+			continue
+		}
+		back := ToF16(v)
+		if back.Float32() != v {
+			t.Fatalf("pattern %#04x: decode %v re-encodes to %#04x (%v)", h, v, back, back.Float32())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64*). The engine uses it instead of math/rand so that model
+// initialization and dropout masks are reproducible across runs and
+// platforms, which the gradient-check and integration tests rely on.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is replaced by a
+// fixed non-zero constant, since the xorshift state must be non-zero.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat32 returns a standard-normal value using the Box–Muller
+// transform.
+func (r *RNG) NormFloat32() float32 {
+	// Avoid log(0) by keeping u1 strictly positive.
+	u1 := float64(r.Float32())
+	for u1 == 0 {
+		u1 = float64(r.Float32())
+	}
+	u2 := float64(r.Float32())
+	return float32(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+}
+
+// FillUniform fills t with uniform values in [lo, hi).
+func (t *Tensor) FillUniform(r *RNG, lo, hi float32) {
+	scale := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + scale*r.Float32()
+	}
+}
+
+// FillNormal fills t with normal values of the given mean and standard
+// deviation.
+func (t *Tensor) FillNormal(r *RNG, mean, std float32) {
+	for i := range t.data {
+		t.data[i] = mean + std*r.NormFloat32()
+	}
+}
+
+// FillXavier fills t using Xavier/Glorot uniform initialization for a
+// weight matrix with the given fan-in and fan-out.
+func (t *Tensor) FillXavier(r *RNG, fanIn, fanOut int) {
+	limit := float32(math.Sqrt(6 / float64(fanIn+fanOut)))
+	t.FillUniform(r, -limit, limit)
+}

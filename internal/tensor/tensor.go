@@ -1,0 +1,216 @@
+// Package tensor provides the dense float32 tensor type used by the
+// real-execution BERT engine, together with shape utilities, deterministic
+// random initialization, and IEEE-754 half-precision (binary16) storage
+// conversion used to emulate mixed-precision memory traffic.
+//
+// Tensors are row-major and contiguous. The package is deliberately small:
+// it supplies exactly the functionality the kernels in internal/kernels
+// need, with no lazy evaluation or device abstraction.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tensor is a dense, row-major, contiguous float32 tensor.
+//
+// The zero value is an empty (rank-0, size-0) tensor. Use New or Of to
+// construct tensors with a shape.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// Of wraps an existing data slice with a shape. The slice is used directly
+// (not copied); its length must equal the shape's element count.
+func Of(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Dim returns the size of dimension i, supporting negative indices
+// counting from the end (Dim(-1) is the innermost dimension).
+func (t *Tensor) Dim(i int) int {
+	if i < 0 {
+		i += len(t.shape)
+	}
+	return t.shape[i]
+}
+
+// Data returns the underlying storage. Mutations are visible to the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Reshape returns a tensor sharing t's storage with a new shape. The new
+// shape must have the same number of elements. One dimension may be -1, in
+// which case it is inferred.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		switch {
+		case d == -1:
+			if infer >= 0 {
+				panic("tensor: Reshape with more than one -1 dimension")
+			}
+			infer = i
+		case d < 0:
+			panic(fmt.Sprintf("tensor: invalid dimension %d in Reshape", d))
+		default:
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, shape))
+		}
+		shape[infer] = len(t.data) / known
+		known *= shape[infer]
+	}
+	if known != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.data), shape, known))
+	}
+	return &Tensor{shape: shape, data: t.data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies src's elements into t. Shapes must match exactly.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if !SameShape(t, src) {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, src.shape))
+	}
+	copy(t.data, src.data)
+}
+
+// Zero sets all elements to zero.
+func (t *Tensor) Zero() {
+	clear(t.data)
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Row returns a view of row r of a rank-2 tensor as a slice.
+func (t *Tensor) Row(r int) []float32 {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Row on rank-%d tensor", len(t.shape)))
+	}
+	c := t.shape[1]
+	return t.data[r*c : (r+1)*c]
+}
+
+// Batch returns a rank-(r-1) view of index b along the first dimension.
+// The returned tensor shares storage with t.
+func (t *Tensor) Batch(b int) *Tensor {
+	if len(t.shape) < 1 {
+		panic("tensor: Batch on rank-0 tensor")
+	}
+	if b < 0 || b >= t.shape[0] {
+		panic(fmt.Sprintf("tensor: batch index %d out of range for shape %v", b, t.shape))
+	}
+	sub := 1
+	for _, d := range t.shape[1:] {
+		sub *= d
+	}
+	return &Tensor{
+		shape: append([]int(nil), t.shape[1:]...),
+		data:  t.data[b*sub : (b+1)*sub],
+	}
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumElements returns the element count of a shape.
+func NumElements(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// String renders a compact description, e.g. "Tensor[32 128 1024]".
+func (t *Tensor) String() string {
+	dims := make([]string, len(t.shape))
+	for i, d := range t.shape {
+		dims[i] = fmt.Sprint(d)
+	}
+	return "Tensor[" + strings.Join(dims, " ") + "]"
+}
