@@ -744,3 +744,76 @@ func BenchmarkAblationOptimizerChoice(b *testing.B) {
 	b.ReportMetric(times["adam"], "adam-update-ms")
 	b.ReportMetric(times["sgd"], "sgd-update-ms")
 }
+
+// ---------------------------------------------------------------------------
+// Table 2 GEMM shapes at full BERT-Large scale (B=4, seq 128 => 512 tokens).
+// Each shape runs both the cache-blocked packed path (kernels.GEMM) and the
+// naive reference (kernels.GEMMNaive) so the speedup is measured in-tree:
+//
+//	go test -bench GEMMPaperSizes -benchmem .
+func BenchmarkGEMMPaperSizes(b *testing.B) {
+	shapes := []struct {
+		name    string
+		ta, tb  bool
+		m, n, k int
+	}{
+		{"qkv_fwd_NT_512x1024x1024", false, true, 512, 1024, 1024},
+		{"fc1_fwd_NT_512x4096x1024", false, true, 512, 4096, 1024},
+		{"fc2_fwd_NT_512x1024x4096", false, true, 512, 1024, 4096},
+		{"wgrad_TN_1024x1024x512", true, false, 1024, 1024, 512},
+		{"dgrad_NN_512x1024x1024", false, false, 512, 1024, 1024},
+	}
+	impls := []struct {
+		name string
+		run  func(ta, tb bool, m, n, k int, a, bm, c []float32)
+	}{
+		{"blocked", func(ta, tb bool, m, n, k int, a, bm, c []float32) {
+			kernels.GEMM(ta, tb, m, n, k, 1, a, bm, 0, c)
+		}},
+		{"naive", func(ta, tb bool, m, n, k int, a, bm, c []float32) {
+			kernels.GEMMNaive(ta, tb, m, n, k, 1, a, bm, 0, c)
+		}},
+	}
+	for _, s := range shapes {
+		for _, im := range impls {
+			b.Run(s.name+"/"+im.name, func(b *testing.B) {
+				r := tensor.NewRNG(1)
+				a := make([]float32, s.m*s.k)
+				bm := make([]float32, s.k*s.n)
+				c := make([]float32, s.m*s.n)
+				for i := range a {
+					a[i] = r.Float32()
+				}
+				for i := range bm {
+					bm[i] = r.Float32()
+				}
+				im.run(s.ta, s.tb, s.m, s.n, s.k, a, bm, c) // warm pools
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					im.run(s.ta, s.tb, s.m, s.n, s.k, a, bm, c)
+				}
+				flops := float64(2*s.m*s.n*s.k) * float64(b.N)
+				b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+			})
+		}
+	}
+	// Batched attention scores: B=4 x 16 heads = 64 GEMMs of 128x128x64 (NT).
+	b.Run("attn_score_bgemm_64x128x128x64", func(b *testing.B) {
+		const batch, n, dh = 64, 128, 64
+		r := tensor.NewRNG(1)
+		q := make([]float32, batch*n*dh)
+		km := make([]float32, batch*n*dh)
+		sc := make([]float32, batch*n*n)
+		for i := range q {
+			q[i] = r.Float32()
+			km[i] = r.Float32()
+		}
+		kernels.BatchedGEMM(batch, false, true, n, n, dh, 1, q, n*dh, km, n*dh, 0, sc, n*n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernels.BatchedGEMM(batch, false, true, n, n, dh, 1, q, n*dh, km, n*dh, 0, sc, n*n)
+		}
+		flops := float64(2*batch*n*n*dh) * float64(b.N)
+		b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	})
+}

@@ -80,3 +80,50 @@ func FuzzGEMMTransposeConsistency(f *testing.F) {
 		}
 	})
 }
+
+// FuzzGEMMBlockedVsNaive: the cache-blocked packed path must agree with
+// the naive reference for arbitrary shapes (including dims that are not
+// multiples of the micro-tile), transpose combos, and alpha/beta. The
+// seed corpus pins the odd/prime dims and scaling factors from the
+// equivalence suite so `go test` replays them on every run.
+func FuzzGEMMBlockedVsNaive(f *testing.F) {
+	// Odd and prime dims around the micro-tile (6x16) and block (120/256)
+	// boundaries; alphaSel/betaSel index {0, 1, -0.5}.
+	f.Add(uint64(7), uint16(1), uint16(1), uint16(1), uint8(0), uint8(1), uint8(1))
+	f.Add(uint64(11), uint16(3), uint16(17), uint16(63), uint8(1), uint8(1), uint8(0))
+	f.Add(uint64(13), uint16(63), uint16(129), uint16(17), uint8(2), uint8(2), uint8(1))
+	f.Add(uint64(17), uint16(129), uint16(63), uint16(129), uint8(3), uint8(1), uint8(2))
+	f.Add(uint64(19), uint16(121), uint16(257), uint16(31), uint8(2), uint8(0), uint8(1))
+	f.Add(uint64(23), uint16(6), uint16(16), uint16(256), uint8(0), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, mr, nr, kr uint16, combo, alphaSel, betaSel uint8) {
+		m, n, k := int(mr%160)+1, int(nr%160)+1, int(kr%160)+1
+		transA, transB := combo&1 != 0, combo&2 != 0
+		scales := []float32{0, 1, -0.5}
+		alpha := scales[int(alphaSel)%len(scales)]
+		beta := scales[int(betaSel)%len(scales)]
+		next := func() float32 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return float32(int32(seed>>33%2000)-1000) / 1000
+		}
+		a := make([]float32, m*k)
+		for i := range a {
+			a[i] = next()
+		}
+		b := make([]float32, k*n)
+		for i := range b {
+			b[i] = next()
+		}
+		c0 := make([]float32, m*n)
+		for i := range c0 {
+			c0[i] = next()
+		}
+		got := append([]float32(nil), c0...)
+		want := append([]float32(nil), c0...)
+		blockedFull(transA, transB, m, n, k, alpha, a, b, beta, got, true)
+		GEMMNaive(transA, transB, m, n, k, alpha, a, b, beta, want)
+		if d := maxAbsDiff(got, want); d > tolFor(k) {
+			t.Fatalf("tA=%v tB=%v m=%d n=%d k=%d alpha=%v beta=%v: max diff %v",
+				transA, transB, m, n, k, alpha, beta, d)
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package kernels
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // GEMM computes C = alpha·op(A)·op(B) + beta·C for row-major matrices.
 //
@@ -8,21 +11,46 @@ import "fmt"
 // op(B) is K×N: B is stored K×N when transB is false, N×K when true.
 // C is always stored M×N.
 //
-// The kernel parallelizes across blocks of C rows and chooses an inner
-// loop order per transpose combination that keeps the innermost accesses
-// contiguous. It panics if a buffer is too small for its dimensions,
-// since a silent out-of-bounds read would corrupt training.
+// Large products run through the cache-blocked packed implementation
+// (gemm_blocked.go) parallelized on the persistent worker pool; tiny ones
+// fall back to the naive reference path, whose packing overhead would
+// dominate. Results are bitwise deterministic for a given shape and
+// backend. It panics if a buffer is too small for its dimensions, since a
+// silent out-of-bounds read would corrupt training.
+//
+// Following BLAS quick-return semantics, alpha == 0 (or k == 0) skips the
+// product entirely — C is only scaled by beta, even if A or B contain
+// NaN/Inf. Within a computed product, however, non-finite values propagate
+// exactly (0·NaN = NaN): the kernels never skip zero operands.
 func GEMM(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
 	checkGEMMArgs(transA, transB, m, n, k, a, b, c)
 	if m == 0 || n == 0 {
 		return
 	}
-
 	scaleC(c[:m*n], beta)
 	if k == 0 || alpha == 0 {
 		return
 	}
+	if 2*m*n*k < smallGEMMFlops {
+		gemmNaiveSerial(transA, transB, m, n, k, alpha, a, b, c)
+		return
+	}
+	gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, true)
+}
 
+// GEMMNaive is the unblocked row-saxpy/dot implementation GEMM used before
+// cache blocking. It is kept as the reference oracle for equivalence tests
+// and as the "before" baseline for the perf benchmarks; same semantics as
+// GEMM.
+func GEMMNaive(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	checkGEMMArgs(transA, transB, m, n, k, a, b, c)
+	if m == 0 || n == 0 {
+		return
+	}
+	scaleC(c[:m*n], beta)
+	if k == 0 || alpha == 0 {
+		return
+	}
 	switch {
 	case !transA && !transB:
 		gemmNN(m, n, k, alpha, a, b, c)
@@ -64,18 +92,15 @@ func scaleC(c []float32, beta float32) {
 
 // gemmNN: A is M×K, B is K×N. For each row of C, accumulate saxpy updates
 // over rows of B — the innermost loop streams contiguous B and C rows.
+// Note there is deliberately no skip for zero coefficients: 0·NaN must
+// stay NaN.
 func gemmNN(m, n, k int, alpha float32, a, b, c []float32) {
 	parallelFor(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ci := c[i*n : (i+1)*n]
 			ai := a[i*k : (i+1)*k]
 			for p := 0; p < k; p++ {
-				s := alpha * ai[p]
-				if s == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				axpy(s, bp, ci)
+				axpy(alpha*ai[p], b[p*n:(p+1)*n], ci)
 			}
 		}
 	})
@@ -104,11 +129,7 @@ func gemmTN(m, n, k int, alpha float32, a, b, c []float32) {
 			ap := a[p*m : (p+1)*m]
 			bp := b[p*n : (p+1)*n]
 			for i := lo; i < hi; i++ {
-				s := alpha * ap[i]
-				if s == 0 {
-					continue
-				}
-				axpy(s, bp, c[i*n:(i+1)*n])
+				axpy(alpha*ap[i], bp, c[i*n:(i+1)*n])
 			}
 		}
 	})
@@ -161,7 +182,9 @@ func axpy(s float32, x, y []float32) {
 // BatchedGEMM performs batch independent GEMMs with identical dimensions,
 // the manifestation of BERT's attention operations (B·h parallel GEMMs
 // launched as a single kernel, Section 3.2.2). Matrix i of each operand
-// begins at offset i·stride of its buffer.
+// begins at offset i·stride of its buffer. Batch elements are distributed
+// over the worker pool; each per-matrix GEMM runs single-threaded to avoid
+// nested dispatch.
 func BatchedGEMM(batch int, transA, transB bool, m, n, k int, alpha float32, a []float32, strideA int, b []float32, strideB int, beta float32, c []float32, strideC int) {
 	if batch < 0 {
 		panic("kernels: BatchedGEMM with negative batch")
@@ -173,35 +196,70 @@ func BatchedGEMM(batch int, transA, transB bool, m, n, k int, alpha float32, a [
 		panic(fmt.Sprintf("kernels: BatchedGEMM strides (%d,%d,%d) smaller than matrix sizes (%d,%d,%d)",
 			strideA, strideB, strideC, m*k, k*n, m*n))
 	}
-	// Parallelize across the batch; each per-matrix GEMM runs
-	// single-threaded to avoid nested spawning.
-	parallelFor(batch, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			gemmSerial(transA, transB, m, n, k, alpha,
-				a[i*strideA:i*strideA+m*k],
-				b[i*strideB:i*strideB+k*n],
-				beta,
-				c[i*strideC:i*strideC+m*n])
-		}
-	})
+	if batch == 1 {
+		GEMM(transA, transB, m, n, k, alpha, a, b, beta, c)
+		return
+	}
+	s := batchedPool.Get().(*batchedState)
+	s.transA, s.transB = transA, transB
+	s.m, s.n, s.k = m, n, k
+	s.alpha, s.beta = alpha, beta
+	s.a, s.b, s.c = a, b, c
+	s.sA, s.sB, s.sC = strideA, strideB, strideC
+	parallelRun(batch, 1, s)
+	s.a, s.b, s.c = nil, nil, nil
+	batchedPool.Put(s)
+}
+
+// batchedState is the pooled parallel-region body of BatchedGEMM: item i
+// is the i-th matrix product of the batch.
+type batchedState struct {
+	transA, transB bool
+	m, n, k        int
+	alpha, beta    float32
+	a, b, c        []float32
+	sA, sB, sC     int
+}
+
+var batchedPool = sync.Pool{New: func() any { return new(batchedState) }}
+
+func (s *batchedState) runRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		gemmSerial(s.transA, s.transB, s.m, s.n, s.k, s.alpha,
+			s.a[i*s.sA:i*s.sA+s.m*s.k],
+			s.b[i*s.sB:i*s.sB+s.k*s.n],
+			s.beta,
+			s.c[i*s.sC:i*s.sC+s.m*s.n])
+	}
 }
 
 // gemmSerial is GEMM without internal parallelism, used per batch element.
 func gemmSerial(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
 	checkGEMMArgs(transA, transB, m, n, k, a, b, c)
-	scaleC(c[:m*n], beta)
-	if k == 0 || alpha == 0 || m == 0 || n == 0 {
+	if m == 0 || n == 0 {
 		return
 	}
+	scaleC(c[:m*n], beta)
+	if k == 0 || alpha == 0 {
+		return
+	}
+	if 2*m*n*k < smallGEMMFlops {
+		gemmNaiveSerial(transA, transB, m, n, k, alpha, a, b, c)
+		return
+	}
+	gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, false)
+}
+
+// gemmNaiveSerial accumulates C += alpha·op(A)·op(B) with the unblocked
+// single-threaded loops (beta already applied by the caller).
+func gemmNaiveSerial(transA, transB bool, m, n, k int, alpha float32, a, b, c []float32) {
 	switch {
 	case !transA && !transB:
 		for i := 0; i < m; i++ {
 			ci := c[i*n : (i+1)*n]
 			ai := a[i*k : (i+1)*k]
 			for p := 0; p < k; p++ {
-				if s := alpha * ai[p]; s != 0 {
-					axpy(s, b[p*n:(p+1)*n], ci)
-				}
+				axpy(alpha*ai[p], b[p*n:(p+1)*n], ci)
 			}
 		}
 	case !transA && transB:
@@ -217,9 +275,7 @@ func gemmSerial(transA, transB bool, m, n, k int, alpha float32, a, b []float32,
 			ap := a[p*m : (p+1)*m]
 			bp := b[p*n : (p+1)*n]
 			for i := 0; i < m; i++ {
-				if s := alpha * ap[i]; s != 0 {
-					axpy(s, bp, c[i*n:(i+1)*n])
-				}
+				axpy(alpha*ap[i], bp, c[i*n:(i+1)*n])
 			}
 		}
 	default:

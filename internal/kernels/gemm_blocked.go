@@ -1,0 +1,393 @@
+package kernels
+
+import "sync"
+
+// Cache-blocked packed GEMM, BLIS-style. The operand matrices are copied
+// into contiguous packed panels once per cache block — handling all four
+// transpose combinations (and the alpha scale) at pack time — so a single
+// register-tiled micro-kernel serves every GEMM the training graph emits.
+//
+// Blocking hierarchy for C = op(A)·op(B):
+//
+//	for io over M by gemmStripe:              bound packed-A scratch
+//	  for pc over K by gemmKC:                depth block
+//	    pack A[io:io+ms][pc:pc+kcb]           mr-row micro-panels, ×alpha
+//	    for jc over N by gemmNC:              column block
+//	      pack B[pc:pc+kcb][jc:jc+ncb]        nr-column micro-panels
+//	      for each (mc row block × column segment) tile, in parallel:
+//	        for jr by nr, ir by mr:           micro-tiles
+//	          C[ir:ir+mr][jr:jr+nr] += Apanel·Bpanel   (micro-kernel)
+//
+// The packed A block (gemmMC×gemmKC) stays resident in L2 while micro-
+// panels of B stream through L1; C tiles live in registers inside the
+// micro-kernel. Tiles are distributed over the persistent worker pool via
+// an atomic counter (parallel.go), and every tile of C is written by
+// exactly one worker with a fixed loop order, so results are bitwise
+// deterministic regardless of scheduling.
+const (
+	gemmMC = 120  // row block; multiple of both micro-tile heights (4 and 6)
+	gemmKC = 256  // depth block: packed A block is 120×256×4 B ≈ 120 KiB (L2-resident)
+	gemmNC = 2048 // column block: packed B panel is 256×2048×4 B = 2 MiB (streams via L3)
+
+	// gemmStripe bounds the packed-A scratch for very tall matrices;
+	// multiple of gemmMC.
+	gemmStripe = 3840
+
+	// microTileMax is the largest micro-tile (6×16 SIMD kernel).
+	microTileMax = 6 * 16
+
+	// smallGEMMFlops: below this, packing overhead outweighs blocking
+	// gains and GEMM dispatches to the naive reference path instead.
+	smallGEMMFlops = 1 << 15
+)
+
+// Active micro-kernel geometry. The portable scalar kernel is the default;
+// on amd64 with AVX2+FMA an assembly 6×16 kernel is installed at init
+// (gemm_kernel_amd64.go). Tests switch backends via useScalarKernel /
+// useSIMDKernel to cross-check them.
+var (
+	gemmMR      = 4
+	gemmNR      = 4
+	microKernel func(kc int, a, b, c []float32, ldc int) = microKernel4x4
+)
+
+// useScalarKernel installs the portable micro-kernel (also the permanent
+// state on non-amd64 builds and under DEMYSTBERT_NOSIMD=1).
+func useScalarKernel() {
+	gemmMR, gemmNR, microKernel = 4, 4, microKernel4x4
+}
+
+// gemmBlocked computes C += alpha·op(A)·op(B) (beta is applied by the
+// caller) with cache blocking and packing. par selects pool parallelism;
+// BatchedGEMM passes false so per-matrix GEMMs never nest dispatch.
+func gemmBlocked(transA, transB bool, m, n, k int, alpha float32, a, b, c []float32, par bool) {
+	mr, nr := gemmMR, gemmNR
+	kc0 := min(k, gemmKC)
+	ap := getScratch(((min(m, gemmStripe) + mr - 1) / mr) * mr * kc0)
+	bp := getScratch(((min(n, gemmNC) + nr - 1) / nr) * nr * kc0)
+	g := gemmStatePool.Get().(*gemmState)
+	for io := 0; io < m; io += gemmStripe {
+		ms := min(gemmStripe, m-io)
+		for pc := 0; pc < k; pc += gemmKC {
+			kcb := min(gemmKC, k-pc)
+			packA(transA, *ap, a, io, ms, pc, kcb, m, k, alpha, mr, par)
+			for jc := 0; jc < n; jc += gemmNC {
+				ncb := min(gemmNC, n-jc)
+				packB(transB, *bp, b, jc, ncb, pc, kcb, n, k, nr, par)
+				g.run(c, *ap, *bp, n, io, ms, jc, ncb, kcb, par)
+			}
+		}
+	}
+	gemmStatePool.Put(g)
+	putScratch(ap)
+	putScratch(bp)
+}
+
+// gemmState is the pooled parallel-region body for the tile grid of one
+// (stripe, pc, jc) step. Work item t maps to (row block t/segs, column
+// segment t%segs); items touch disjoint regions of C.
+type gemmState struct {
+	c       []float32
+	ap, bp  []float32
+	ldc     int
+	i0, ms  int // stripe origin row and height
+	jc, ncb int // column-block origin and width
+	kcb     int
+	segs    int // column segments per row block
+	segCols int // columns per segment (multiple of nr)
+}
+
+var gemmStatePool = sync.Pool{New: func() any { return new(gemmState) }}
+
+func (g *gemmState) run(c, ap, bp []float32, ldc, i0, ms, jc, ncb, kcb int, par bool) {
+	icBlocks := (ms + gemmMC - 1) / gemmMC
+	segs, segCols := 1, ncb
+	w := 1
+	if par {
+		w = int(maxWorkers.Load())
+	}
+	if w > 1 && icBlocks < 3*w {
+		// Few row blocks: split columns too, keeping ≥ ~3 items per
+		// worker for dynamic balance but segments at least two
+		// micro-panels wide so packed B reuse stays intact.
+		nr := gemmNR
+		target := (3*w + icBlocks - 1) / icBlocks
+		if maxSegs := max(ncb/(2*nr), 1); target > maxSegs {
+			target = maxSegs
+		}
+		segCols = max((((ncb+target-1)/target+nr-1)/nr)*nr, nr)
+		segs = (ncb + segCols - 1) / segCols
+	}
+	g.c, g.ap, g.bp = c, ap, bp
+	g.ldc, g.i0, g.ms, g.jc, g.ncb, g.kcb = ldc, i0, ms, jc, ncb, kcb
+	g.segs, g.segCols = segs, segCols
+	items := icBlocks * segs
+	if par {
+		parallelRun(items, 1, g)
+	} else {
+		g.runRange(0, items)
+	}
+	g.c, g.ap, g.bp = nil, nil, nil
+}
+
+func (g *gemmState) runRange(lo, hi int) {
+	for t := lo; t < hi; t++ {
+		g.tile(t)
+	}
+}
+
+// tile computes one row-block × column-segment piece of C from the packed
+// panels, sweeping micro-tiles so the A block stays hot in L2.
+func (g *gemmState) tile(t int) {
+	mr, nr := gemmMR, gemmNR
+	kcb := g.kcb
+	i := (t / g.segs) * gemmMC
+	iEnd := min(i+gemmMC, g.ms)
+	j0 := (t % g.segs) * g.segCols
+	jEnd := min(j0+g.segCols, g.ncb)
+	kern := microKernel
+	// Edge tiles land in a pooled micro-tile buffer (a plain local array
+	// would escape through the indirect kern call and allocate per tile).
+	var tmp *[microTileMax]float32
+	for jr := j0; jr < jEnd; jr += nr {
+		nw := min(nr, g.ncb-jr)
+		bpanel := g.bp[(jr/nr)*nr*kcb:]
+		for ir := i; ir < iEnd; ir += mr {
+			mw := min(mr, g.ms-ir)
+			apanel := g.ap[(ir/mr)*mr*kcb:]
+			cc := g.c[(g.i0+ir)*g.ldc+g.jc+jr:]
+			if mw == mr && nw == nr {
+				kern(kcb, apanel, bpanel, cc, g.ldc)
+				continue
+			}
+			// Edge tile: compute the full padded micro-tile into the
+			// side buffer, then accumulate only the live region.
+			// Panel padding is zero, so the dead lanes contribute
+			// nothing and are discarded here.
+			if tmp == nil {
+				tmp = microTilePool.Get().(*[microTileMax]float32)
+			}
+			clear(tmp[:mr*nr])
+			kern(kcb, apanel, bpanel, tmp[:], nr)
+			for r := 0; r < mw; r++ {
+				crow := cc[r*g.ldc:]
+				trow := tmp[r*nr:]
+				for q := 0; q < nw; q++ {
+					crow[q] += trow[q]
+				}
+			}
+		}
+	}
+	if tmp != nil {
+		microTilePool.Put(tmp)
+	}
+}
+
+var microTilePool = sync.Pool{New: func() any { return new([microTileMax]float32) }}
+
+// ---------------------------------------------------------------------------
+// Packing.
+
+// packAState packs op(A)[io:io+ms][pc:pc+kcb] into mr-row micro-panels:
+// panel pi holds rows [pi·mr, pi·mr+mr), laid out p-major (mr consecutive
+// row entries per depth step) and scaled by alpha. Short panels at the
+// bottom are zero-padded.
+type packAState struct {
+	dst, src []float32
+	transA   bool
+	row0     int // io: first op(A) row of the stripe
+	rows     int // ms
+	pc, kcb  int
+	ld       int // k when !transA (A is M×K), m when transA (A is K×M)
+	alpha    float32
+	mr       int
+}
+
+var packAPool = sync.Pool{New: func() any { return new(packAState) }}
+
+func packA(transA bool, dst, a []float32, io, ms, pc, kcb, m, k int, alpha float32, mr int, par bool) {
+	s := packAPool.Get().(*packAState)
+	s.dst, s.src, s.transA = dst, a, transA
+	s.row0, s.rows, s.pc, s.kcb = io, ms, pc, kcb
+	s.alpha, s.mr = alpha, mr
+	if transA {
+		s.ld = m
+	} else {
+		s.ld = k
+	}
+	panels := (ms + mr - 1) / mr
+	if par {
+		parallelRun(panels, 8, s)
+	} else {
+		s.runRange(0, panels)
+	}
+	s.dst, s.src = nil, nil
+	packAPool.Put(s)
+}
+
+func (s *packAState) runRange(lo, hi int) {
+	mr, kcb, alpha := s.mr, s.kcb, s.alpha
+	for pi := lo; pi < hi; pi++ {
+		dst := s.dst[pi*mr*kcb : (pi+1)*mr*kcb]
+		r0 := pi * mr
+		rows := min(mr, s.rows-r0)
+		if s.transA {
+			// A stored K×M: op(A)[i][p] = a[p·ld + i] — the mr rows
+			// of a panel are contiguous in memory.
+			base := s.pc*s.ld + s.row0 + r0
+			for p := 0; p < kcb; p++ {
+				src := s.src[base+p*s.ld:]
+				d := dst[p*mr:]
+				for r := 0; r < rows; r++ {
+					d[r] = alpha * src[r]
+				}
+				for r := rows; r < mr; r++ {
+					d[r] = 0
+				}
+			}
+			continue
+		}
+		// A stored M×K: op(A)[i][p] = a[i·ld + pc + p] — mr strided
+		// read streams, sequential writes.
+		base := (s.row0+r0)*s.ld + s.pc
+		for p := 0; p < kcb; p++ {
+			d := dst[p*mr:]
+			for r := 0; r < rows; r++ {
+				d[r] = alpha * s.src[base+r*s.ld+p]
+			}
+			for r := rows; r < mr; r++ {
+				d[r] = 0
+			}
+		}
+	}
+}
+
+// packBState packs op(B)[pc:pc+kcb][jc:jc+ncb] into nr-column micro-panels
+// laid out p-major (nr consecutive column entries per depth step), zero-
+// padding short panels on the right.
+type packBState struct {
+	dst, src []float32
+	transB   bool
+	jc, cols int // column-block origin and width (ncb)
+	pc, kcb  int
+	ld       int // n when !transB (B is K×N), k when transB (B is N×K)
+	nr       int
+}
+
+var packBPool = sync.Pool{New: func() any { return new(packBState) }}
+
+func packB(transB bool, dst, b []float32, jc, ncb, pc, kcb, n, k, nr int, par bool) {
+	s := packBPool.Get().(*packBState)
+	s.dst, s.src, s.transB = dst, b, transB
+	s.jc, s.cols, s.pc, s.kcb, s.nr = jc, ncb, pc, kcb, nr
+	if transB {
+		s.ld = k
+	} else {
+		s.ld = n
+	}
+	panels := (ncb + nr - 1) / nr
+	if par {
+		parallelRun(panels, 8, s)
+	} else {
+		s.runRange(0, panels)
+	}
+	s.dst, s.src = nil, nil
+	packBPool.Put(s)
+}
+
+func (s *packBState) runRange(lo, hi int) {
+	nr, kcb := s.nr, s.kcb
+	for pj := lo; pj < hi; pj++ {
+		dst := s.dst[pj*nr*kcb : (pj+1)*nr*kcb]
+		j0 := pj * nr
+		cols := min(nr, s.cols-j0)
+		if !s.transB {
+			// B stored K×N: each depth step is a contiguous row copy.
+			base := s.pc*s.ld + s.jc + j0
+			if cols == nr {
+				for p := 0; p < kcb; p++ {
+					copy(dst[p*nr:p*nr+nr], s.src[base+p*s.ld:])
+				}
+				continue
+			}
+			for p := 0; p < kcb; p++ {
+				d := dst[p*nr : p*nr+nr]
+				copy(d[:cols], s.src[base+p*s.ld:])
+				for j := cols; j < nr; j++ {
+					d[j] = 0
+				}
+			}
+			continue
+		}
+		// B stored N×K: op(B)[p][j] = b[(jc+j)·ld + pc + p] — each
+		// packed column is a contiguous read.
+		for j := 0; j < cols; j++ {
+			src := s.src[(s.jc+j0+j)*s.ld+s.pc:]
+			for p := 0; p < kcb; p++ {
+				dst[p*nr+j] = src[p]
+			}
+		}
+		for j := cols; j < nr; j++ {
+			for p := 0; p < kcb; p++ {
+				dst[p*nr+j] = 0
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Portable micro-kernel.
+
+// microKernel4x4 computes C[0:4][0:4] += Apanel·Bpanel over kc packed depth
+// steps with 16 independent scalar accumulators. It is the fallback for
+// builds without the SIMD kernel and the cross-check oracle for it.
+func microKernel4x4(kc int, a, b, c []float32, ldc int) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	a = a[:4*kc]
+	b = b[:4*kc]
+	for len(a) >= 4 {
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		a = a[4:]
+		b = b[4:]
+	}
+	r := c[0:4]
+	r[0] += c00
+	r[1] += c01
+	r[2] += c02
+	r[3] += c03
+	r = c[ldc : ldc+4]
+	r[0] += c10
+	r[1] += c11
+	r[2] += c12
+	r[3] += c13
+	r = c[2*ldc : 2*ldc+4]
+	r[0] += c20
+	r[1] += c21
+	r[2] += c22
+	r[3] += c23
+	r = c[3*ldc : 3*ldc+4]
+	r[0] += c30
+	r[1] += c31
+	r[2] += c32
+	r[3] += c33
+}

@@ -1,0 +1,59 @@
+//go:build amd64
+
+package kernels
+
+import "os"
+
+// Assembly micro-kernel bindings (gemm_kernel_amd64.s) plus the CPU feature
+// probe that decides whether to install them.
+
+//go:noescape
+func sgemmKernel6x16(kc int64, a, b, c *float32, ldc int64)
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// microKernel6x16 adapts the AVX2+FMA assembly kernel to the generic
+// micro-kernel signature: C[0:6][0:16] += Apanel·Bpanel.
+func microKernel6x16(kc int, a, b, c []float32, ldc int) {
+	sgemmKernel6x16(int64(kc), &a[0], &b[0], &c[0], int64(ldc))
+}
+
+// haveAVX2FMA reports whether both the CPU and the OS support AVX2 and FMA
+// (including YMM state saving via XSAVE).
+var haveAVX2FMA = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const fma = 1 << 12
+	const osxsave = 1 << 27
+	if ecx1&fma == 0 || ecx1&osxsave == 0 {
+		return false
+	}
+	if eax, _ := xgetbv(); eax&0x6 != 0x6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// useSIMDKernel installs the 6×16 AVX2+FMA micro-kernel; it reports false
+// (leaving the scalar kernel active) when unsupported.
+func useSIMDKernel() bool {
+	if !haveAVX2FMA {
+		return false
+	}
+	gemmMR, gemmNR, microKernel = 6, 16, microKernel6x16
+	return true
+}
+
+func init() {
+	if os.Getenv("DEMYSTBERT_NOSIMD") == "" {
+		useSIMDKernel()
+	}
+}

@@ -1,0 +1,122 @@
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func sgemmKernel6x16(kc int64, a, b, c *float32, ldc int64)
+//
+// C[0:6][0:16] += Apanel·Bpanel over kc packed depth steps.
+// a: packed 6-row micro-panel, 6 floats per depth step (alpha pre-folded).
+// b: packed 16-column micro-panel, 16 floats per depth step.
+// c: row-major, stride ldc floats.
+//
+// Register plan: Y0-Y11 hold the 6×16 accumulator tile (two 8-lane vectors
+// per row), Y12/Y13 the current B vectors, Y14/Y15 broadcast A elements.
+// 12 FMAs per depth step; B feeds from L1, A from L2.
+TEXT ·sgemmKernel6x16(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8                 // row stride in bytes
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+kloop:
+	VMOVUPS (DX), Y12
+	VMOVUPS 32(DX), Y13
+	VBROADCASTSS (SI), Y14
+	VBROADCASTSS 4(SI), Y15
+	VFMADD231PS Y12, Y14, Y0
+	VFMADD231PS Y13, Y14, Y1
+	VFMADD231PS Y12, Y15, Y2
+	VFMADD231PS Y13, Y15, Y3
+	VBROADCASTSS 8(SI), Y14
+	VBROADCASTSS 12(SI), Y15
+	VFMADD231PS Y12, Y14, Y4
+	VFMADD231PS Y13, Y14, Y5
+	VFMADD231PS Y12, Y15, Y6
+	VFMADD231PS Y13, Y15, Y7
+	VBROADCASTSS 16(SI), Y14
+	VBROADCASTSS 20(SI), Y15
+	VFMADD231PS Y12, Y14, Y8
+	VFMADD231PS Y13, Y14, Y9
+	VFMADD231PS Y12, Y15, Y10
+	VFMADD231PS Y13, Y15, Y11
+	ADDQ $24, SI
+	ADDQ $64, DX
+	DECQ CX
+	JNZ  kloop
+
+	// C += accumulator tile, row by row.
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y12, Y0, Y0
+	VADDPS  Y13, Y1, Y1
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y12, Y2, Y2
+	VADDPS  Y13, Y3, Y3
+	VMOVUPS Y2, (DI)
+	VMOVUPS Y3, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y12, Y4, Y4
+	VADDPS  Y13, Y5, Y5
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y12, Y6, Y6
+	VADDPS  Y13, Y7, Y7
+	VMOVUPS Y6, (DI)
+	VMOVUPS Y7, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y12, Y8, Y8
+	VADDPS  Y13, Y9, Y9
+	VMOVUPS Y8, (DI)
+	VMOVUPS Y9, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y12, Y10, Y10
+	VADDPS  Y13, Y11, Y11
+	VMOVUPS Y10, (DI)
+	VMOVUPS Y11, 32(DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package kernels
+
+// useSIMDKernel is a no-op on platforms without an assembly micro-kernel;
+// the portable scalar kernel stays active.
+func useSIMDKernel() bool { return false }

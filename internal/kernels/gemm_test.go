@@ -250,7 +250,7 @@ func TestDotAndAxpy(t *testing.T) {
 
 func TestSetMaxWorkersClamps(t *testing.T) {
 	old := SetMaxWorkers(-5)
-	if maxWorkers != 1 {
+	if MaxWorkers() != 1 {
 		t.Fatal("SetMaxWorkers(-5) must clamp to 1")
 	}
 	SetMaxWorkers(old)

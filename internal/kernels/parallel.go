@@ -8,57 +8,181 @@
 //
 // Kernels operate on raw []float32 buffers with explicit dimensions; the
 // layer modules in internal/nn supply tensor-typed wrappers.
+//
+// Parallel kernels share one persistent worker pool (this file): workers
+// are spawned once and parked on a channel, and each parallel region hands
+// out index ranges through an atomic counter, so load balance is dynamic
+// and steady-state dispatch does no per-call goroutine spawning.
 package kernels
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers bounds kernel parallelism. It defaults to GOMAXPROCS and can
-// be lowered (e.g. in tests) via SetMaxWorkers.
-var maxWorkers = runtime.GOMAXPROCS(0)
+// be changed (e.g. in tests) via SetMaxWorkers; reads and writes are atomic
+// because tests and ablation benchmarks retune it while kernels run.
+var maxWorkers atomic.Int64
+
+func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
 
 // SetMaxWorkers sets the number of goroutines kernels may use and returns
-// the previous value. n < 1 is treated as 1.
+// the previous value. n < 1 is treated as 1. Raising the bound grows the
+// persistent pool; lowering it parks the excess workers (they are not
+// killed, only left idle).
 func SetMaxWorkers(n int) int {
-	old := maxWorkers
 	if n < 1 {
 		n = 1
 	}
-	maxWorkers = n
-	return old
+	old := maxWorkers.Swap(int64(n))
+	ensureWorkers(n - 1)
+	return int(old)
 }
 
-// parallelFor splits [0, n) into roughly equal chunks, one per worker, and
-// runs body(lo, hi) concurrently. For small n it runs inline to avoid
-// goroutine overhead on tiny kernels.
+// MaxWorkers returns the current worker bound.
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// blockBody is a unit of parallel work: runRange is invoked with disjoint
+// half-open index ranges, possibly concurrently from several workers.
+// Kernels that need zero-allocation dispatch implement it on a pooled
+// struct; closures go through parallelFor's pooled funcBody wrapper.
+type blockBody interface{ runRange(lo, hi int) }
+
+// region is one parallel-for execution shared between the caller and the
+// pool workers that join it. Work is handed out in grain-sized chunks via
+// the atomic next counter, so fast workers take more chunks (dynamic
+// chunking) instead of being assigned a fixed slice up front.
+type region struct {
+	body  blockBody
+	n     int
+	grain int
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// drain grabs chunks until the region's index space is exhausted.
+func (r *region) drain() {
+	n := int64(r.n)
+	g := int64(r.grain)
+	for {
+		hi := r.next.Add(g)
+		lo := hi - g
+		if lo >= n {
+			return
+		}
+		if hi > n {
+			hi = n
+		}
+		r.body.runRange(int(lo), int(hi))
+	}
+}
+
+var (
+	// workCh feeds regions to the persistent workers. The buffer lets a
+	// caller enlist helpers without ever blocking: if every worker is
+	// busy, queued handles are either picked up later (and find the
+	// counter exhausted) or the caller finishes the region alone.
+	workCh = make(chan *region, 1024)
+
+	// spawned counts live pool workers.
+	spawned atomic.Int64
+
+	regionPool = sync.Pool{New: func() any { return new(region) }}
+	fbPool     = sync.Pool{New: func() any { return new(funcBody) }}
+)
+
+// ensureWorkers grows the persistent pool to at least target goroutines.
+func ensureWorkers(target int) {
+	for {
+		cur := spawned.Load()
+		if cur >= int64(target) {
+			return
+		}
+		if spawned.CompareAndSwap(cur, cur+1) {
+			go poolWorker()
+		}
+	}
+}
+
+// poolWorker parks on the work channel forever, joining one region at a
+// time. Workers survive for the life of the process — the pool is sized by
+// SetMaxWorkers, never torn down.
+func poolWorker() {
+	for r := range workCh {
+		r.drain()
+		r.wg.Done()
+	}
+}
+
+// parallelRun executes body over [0, n) in grain-sized chunks using the
+// worker pool, blocking until every index is processed. The calling
+// goroutine always participates, so progress never depends on pool
+// availability (and nested dispatch cannot deadlock). With maxWorkers == 1
+// or a single chunk it runs inline with zero dispatch cost.
+func parallelRun(n, grain int, body blockBody) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := int(maxWorkers.Load())
+	if items := (n + grain - 1) / grain; w > items {
+		w = items
+	}
+	if w <= 1 {
+		body.runRange(0, n)
+		return
+	}
+	ensureWorkers(w - 1)
+	r := regionPool.Get().(*region)
+	r.body, r.n, r.grain = body, n, grain
+	r.next.Store(0)
+	helpers := w - 1
+	for i := 0; i < helpers; i++ {
+		r.wg.Add(1)
+		select {
+		case workCh <- r:
+		default:
+			r.wg.Done()
+			helpers = i // queue full: run with the helpers enlisted so far
+		}
+	}
+	r.drain()
+	r.wg.Wait()
+	r.body = nil
+	regionPool.Put(r)
+}
+
+// funcBody adapts a closure to blockBody; pooled so parallelFor's only
+// steady-state allocation is the closure itself.
+type funcBody struct{ f func(lo, hi int) }
+
+func (b *funcBody) runRange(lo, hi int) { b.f(lo, hi) }
+
+// parallelFor splits [0, n) into dynamically balanced chunks and runs
+// body(lo, hi) concurrently on the worker pool. For small n it runs inline
+// to avoid dispatch overhead on tiny kernels.
 func parallelFor(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxWorkers
-	if workers > n {
-		workers = n
-	}
-	// Inline threshold: launching goroutines for tiny loops costs more
-	// than it saves.
-	if workers == 1 || n < 4 {
+	w := int(maxWorkers.Load())
+	if w == 1 || n < 4 {
 		body(0, n)
 		return
 	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+	// ~4 chunks per worker: coarse enough to amortize dispatch, fine
+	// enough that an unlucky worker cannot stall the join.
+	grain := n / (4 * w)
+	if grain < 1 {
+		grain = 1
 	}
-	wg.Wait()
+	fb := fbPool.Get().(*funcBody)
+	fb.f = body
+	parallelRun(n, grain, fb)
+	fb.f = nil
+	fbPool.Put(fb)
 }

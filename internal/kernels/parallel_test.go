@@ -1,0 +1,155 @@
+package kernels
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"demystbert/internal/tensor"
+)
+
+// TestParallelForCoversExactlyOnce: every index in [0, n) must be visited
+// exactly once, for worker counts above and below the chunk count and for
+// awkward n.
+func TestParallelForCoversExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{1, 3, 4, 5, 63, 64, 1000, 1021} {
+			old := SetMaxWorkers(w)
+			counts := make([]int32, n)
+			parallelFor(n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("w=%d n=%d: bad range [%d,%d)", w, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			SetMaxWorkers(old)
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("w=%d n=%d: index %d visited %d times", w, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRunDynamicChunking: a deliberately skewed workload must not
+// serialize behind one slow chunk — verified structurally: with grain g,
+// no runRange span may exceed g.
+func TestParallelRunDynamicChunking(t *testing.T) {
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
+	const n, grain = 1000, 16
+	var calls, covered atomic.Int64
+	fb := &funcBody{f: func(lo, hi int) {
+		if hi-lo > grain {
+			t.Errorf("chunk [%d,%d) exceeds grain %d", lo, hi, grain)
+		}
+		calls.Add(1)
+		covered.Add(int64(hi - lo))
+	}}
+	parallelRun(n, grain, fb)
+	if covered.Load() != n {
+		t.Fatalf("covered %d of %d indices", covered.Load(), n)
+	}
+	if want := int64((n + grain - 1) / grain); calls.Load() != want {
+		t.Fatalf("expected %d chunks, got %d", want, calls.Load())
+	}
+}
+
+// TestParallelNested: dispatch from inside a pool worker must complete
+// (the caller always participates, so no deadlock even when the pool is
+// saturated).
+func TestParallelNested(t *testing.T) {
+	old := SetMaxWorkers(2)
+	defer SetMaxWorkers(old)
+	var total atomic.Int64
+	parallelFor(8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			parallelFor(100, func(l, h int) {
+				total.Add(int64(h - l))
+			})
+		}
+	})
+	if total.Load() != 800 {
+		t.Fatalf("nested dispatch covered %d of 800", total.Load())
+	}
+}
+
+// TestSetMaxWorkersConcurrent hammers SetMaxWorkers while GEMMs and
+// reductions run — the satellite fix for the unsynchronized maxWorkers
+// var. Run with -race to verify.
+func TestSetMaxWorkersConcurrent(t *testing.T) {
+	r := tensor.NewRNG(21)
+	m, n, k := 96, 96, 96
+	a := randSlice(r, m*k)
+	b := randSlice(r, k*n)
+	want := make([]float32, m*n)
+	GEMMNaive(false, false, m, n, k, 1, a, b, 0, want)
+
+	old := MaxWorkers()
+	defer SetMaxWorkers(old)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ws := []int{1, 2, 4, 8, 3}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				SetMaxWorkers(ws[i%len(ws)])
+			}
+		}
+	}()
+	for iter := 0; iter < 50; iter++ {
+		c := make([]float32, m*n)
+		GEMM(false, false, m, n, k, 1, a, b, 0, c)
+		if d := maxAbsDiff(c, want); d > tolFor(k) {
+			t.Fatalf("iter %d: diff %v while retuning workers", iter, d)
+		}
+		SumSquares(a)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSumSquaresPoolDeterministic: the pooled reduction must agree with
+// the serial loop and stay deterministic across repeats (partials are
+// reduced in chunk order, not completion order).
+func TestSumSquaresPoolDeterministic(t *testing.T) {
+	r := tensor.NewRNG(22)
+	x := randSlice(r, 100_000)
+	var want float64
+	for _, v := range x {
+		want += float64(v) * float64(v)
+	}
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
+	first := SumSquares(x)
+	if diff := first - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("SumSquares parallel %v vs serial %v", first, want)
+	}
+	for i := 0; i < 10; i++ {
+		if got := SumSquares(x); got != first {
+			t.Fatalf("SumSquares not deterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+// TestMaxWorkersReporting: SetMaxWorkers returns the previous bound and
+// MaxWorkers reflects the current one.
+func TestMaxWorkersReporting(t *testing.T) {
+	orig := MaxWorkers()
+	if prev := SetMaxWorkers(3); prev != orig {
+		t.Fatalf("SetMaxWorkers returned %d, want %d", prev, orig)
+	}
+	if MaxWorkers() != 3 {
+		t.Fatalf("MaxWorkers = %d, want 3", MaxWorkers())
+	}
+	SetMaxWorkers(orig)
+}

@@ -5,54 +5,59 @@ import (
 	"sync"
 )
 
+// sumSqState is the pooled parallel-region body of SumSquares. Each
+// grain-aligned chunk writes its partial into a fixed slot (indexed by
+// lo/grain), and the caller reduces the slots in order, so the result is
+// deterministic no matter how the pool schedules chunks.
+type sumSqState struct {
+	x     []float32
+	grain int
+	part  []float64
+}
+
+var sumSqPool = sync.Pool{New: func() any { return new(sumSqState) }}
+
+func (s *sumSqState) runRange(lo, hi int) {
+	var acc float64
+	for _, v := range s.x[lo:hi] {
+		acc += float64(v) * float64(v)
+	}
+	s.part[lo/s.grain] = acc
+}
+
 // SumSquares returns sum(x[i]^2) in float64 for accuracy; it is the
 // building block of LAMB's global gradient norm, the reduction the paper
 // notes serializes the model update against the entire backprop
-// (Section 3.2.3).
+// (Section 3.2.3). Large inputs are reduced on the persistent worker pool.
 func SumSquares(x []float32) float64 {
 	n := len(x)
-	if n == 0 {
-		return 0
-	}
-	workers := maxWorkers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 4096 {
+	w := MaxWorkers()
+	if n < 4096 || w == 1 {
 		var s float64
 		for _, v := range x {
 			s += float64(v) * float64(v)
 		}
 		return s
 	}
-	partial := make([]float64, workers)
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var s float64
-			for _, v := range x[lo:hi] {
-				s += float64(v) * float64(v)
-			}
-			partial[w] = s
-		}(w, lo, hi)
+	grain := n / (4 * w)
+	if grain < 2048 {
+		grain = 2048
 	}
-	wg.Wait()
-	var s float64
-	for _, v := range partial {
-		s += v
+	chunks := (n + grain - 1) / grain
+	s := sumSqPool.Get().(*sumSqState)
+	s.x, s.grain = x, grain
+	if cap(s.part) < chunks {
+		s.part = make([]float64, chunks)
 	}
-	return s
+	s.part = s.part[:chunks]
+	parallelRun(n, grain, s)
+	var sum float64
+	for _, p := range s.part {
+		sum += p
+	}
+	s.x = nil
+	sumSqPool.Put(s)
+	return sum
 }
 
 // L2Norm returns the Euclidean norm of x.

@@ -1,0 +1,24 @@
+#!/bin/sh
+# check.sh — tier-1 gate for the repo: vet, build, race-test the hot
+# packages, full test sweep, and a short benchmark smoke so kernel
+# regressions fail loudly before merge. Run from the repo root or via
+# `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race (kernels, tensor)"
+go test -race ./internal/kernels/ ./internal/tensor/
+
+echo "== go test ./..."
+go test ./...
+
+echo "== bench smoke (GEMM paper shapes, 1 iteration)"
+go test -run 'xxx' -bench 'Fig6GEMMIntensity|GEMMPaperSizes' -benchtime 1x -benchmem . >/dev/null
+
+echo "check: OK"
