@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxWorkers bounds kernel parallelism. It defaults to GOMAXPROCS and can
@@ -54,12 +55,18 @@ type blockBody interface{ runRange(lo, hi int) }
 // pool workers that join it. Work is handed out in grain-sized chunks via
 // the atomic next counter, so fast workers take more chunks (dynamic
 // chunking) instead of being assigned a fixed slice up front.
+//
+// Completion is tracked by two counters rather than a WaitGroup so the
+// caller's join never depends on the pool picking anything up: done counts
+// processed indices (region complete when done == n) and pending counts
+// handles still sitting in workCh (region reusable when pending == 0).
 type region struct {
-	body  blockBody
-	n     int
-	grain int
-	next  atomic.Int64
-	wg    sync.WaitGroup
+	body    blockBody
+	n       int
+	grain   int
+	next    atomic.Int64
+	done    atomic.Int64
+	pending atomic.Int64
 }
 
 // drain grabs chunks until the region's index space is exhausted.
@@ -76,14 +83,16 @@ func (r *region) drain() {
 			hi = n
 		}
 		r.body.runRange(int(lo), int(hi))
+		r.done.Add(hi - lo)
 	}
 }
 
 var (
-	// workCh feeds regions to the persistent workers. The buffer lets a
-	// caller enlist helpers without ever blocking: if every worker is
-	// busy, queued handles are either picked up later (and find the
-	// counter exhausted) or the caller finishes the region alone.
+	// workCh feeds regions to the persistent workers and to joining
+	// callers, which steal from it while they wait. The buffer lets a
+	// caller enlist helpers without ever blocking: queued handles are
+	// consumed by an idle worker, by a waiter, or by the enqueuing caller
+	// itself once it reaches its own join loop.
 	workCh = make(chan *region, 1024)
 
 	// spawned counts live pool workers.
@@ -112,15 +121,25 @@ func ensureWorkers(target int) {
 func poolWorker() {
 	for r := range workCh {
 		r.drain()
-		r.wg.Done()
+		r.pending.Add(-1)
 	}
 }
 
+// Join-loop backoff: a waiter spins (yielding) while its region finishes,
+// then naps so a long-running chunk elsewhere doesn't burn a core.
+const (
+	joinSpins = 64
+	joinNap   = 20 * time.Microsecond
+)
+
 // parallelRun executes body over [0, n) in grain-sized chunks using the
 // worker pool, blocking until every index is processed. The calling
-// goroutine always participates, so progress never depends on pool
-// availability (and nested dispatch cannot deadlock). With maxWorkers == 1
-// or a single chunk it runs inline with zero dispatch cost.
+// goroutine always participates, and while it waits for chunks claimed by
+// others it steals queued handles from workCh instead of parking — so no
+// join ever depends on pool availability, and nested dispatch (a pool
+// worker calling parallelRun) cannot deadlock even when every worker is
+// itself blocked in a join. With maxWorkers == 1 or a single chunk it runs
+// inline with zero dispatch cost.
 func parallelRun(n, grain int, body blockBody) {
 	if n <= 0 {
 		return
@@ -140,18 +159,37 @@ func parallelRun(n, grain int, body blockBody) {
 	r := regionPool.Get().(*region)
 	r.body, r.n, r.grain = body, n, grain
 	r.next.Store(0)
-	helpers := w - 1
-	for i := 0; i < helpers; i++ {
-		r.wg.Add(1)
+	r.done.Store(0)
+enlist:
+	for i := 0; i < w-1; i++ {
+		r.pending.Add(1)
 		select {
 		case workCh <- r:
 		default:
-			r.wg.Done()
-			helpers = i // queue full: run with the helpers enlisted so far
+			// Queue full: plenty of work is already circulating; run
+			// with the helpers enlisted so far.
+			r.pending.Add(-1)
+			break enlist
 		}
 	}
 	r.drain()
-	r.wg.Wait()
+	// Join: complete when every index is processed, reusable when every
+	// queued handle has been consumed. Stealing here is what keeps nested
+	// dispatch live — a waiter is always a reader of workCh.
+	for spins := 0; r.done.Load() < int64(n) || r.pending.Load() > 0; {
+		select {
+		case other := <-workCh:
+			other.drain()
+			other.pending.Add(-1)
+			spins = 0
+		default:
+			if spins++; spins < joinSpins {
+				runtime.Gosched()
+			} else {
+				time.Sleep(joinNap)
+			}
+		}
+	}
 	r.body = nil
 	regionPool.Put(r)
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -59,9 +60,12 @@ func TestParallelRunDynamicChunking(t *testing.T) {
 	}
 }
 
-// TestParallelNested: dispatch from inside a pool worker must complete
-// (the caller always participates, so no deadlock even when the pool is
-// saturated).
+// TestParallelNested: dispatch from inside a pool worker must complete.
+// Joining callers steal queued handles from the work channel while they
+// wait, so the region drains even when every pool worker is itself blocked
+// in a nested join. This must hold with no idle workers left over from
+// other tests — the scenario that deadlocked the WaitGroup-based join when
+// run in isolation (`-run TestParallelNested`) or under -shuffle.
 func TestParallelNested(t *testing.T) {
 	old := SetMaxWorkers(2)
 	defer SetMaxWorkers(old)
@@ -78,6 +82,58 @@ func TestParallelNested(t *testing.T) {
 	}
 }
 
+// TestParallelNestedSaturated: every outer chunk nests two more levels
+// while the worker bound exceeds the chunk count, so all pool workers and
+// the caller sit in joins simultaneously. Covered-index accounting proves
+// every level ran to completion.
+func TestParallelNestedSaturated(t *testing.T) {
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
+	var total atomic.Int64
+	parallelFor(16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			parallelFor(64, func(l, h int) {
+				for j := l; j < h; j++ {
+					parallelFor(32, func(l2, h2 int) {
+						total.Add(int64(h2 - l2))
+					})
+				}
+			})
+		}
+	})
+	if want := int64(16 * 64 * 32); total.Load() != want {
+		t.Fatalf("nested dispatch covered %d of %d", total.Load(), want)
+	}
+}
+
+// TestParallelNestedConcurrentRoots: several independent goroutines each
+// run nested dispatch at once, so regions from different roots interleave
+// on the shared work channel and waiters steal handles that belong to
+// other roots' regions.
+func TestParallelNestedConcurrentRoots(t *testing.T) {
+	old := SetMaxWorkers(3)
+	defer SetMaxWorkers(old)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var total atomic.Int64
+			parallelFor(8, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					parallelFor(50, func(l, h int) {
+						total.Add(int64(h - l))
+					})
+				}
+			})
+			if total.Load() != 400 {
+				t.Errorf("root covered %d of 400", total.Load())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TestSetMaxWorkersConcurrent hammers SetMaxWorkers while GEMMs and
 // reductions run — the satellite fix for the unsynchronized maxWorkers
 // var. Run with -race to verify.
@@ -88,6 +144,11 @@ func TestSetMaxWorkersConcurrent(t *testing.T) {
 	b := randSlice(r, k*n)
 	want := make([]float32, m*n)
 	GEMMNaive(false, false, m, n, k, 1, a, b, 0, want)
+
+	wantSq := 0.0
+	for _, v := range a {
+		wantSq += float64(v) * float64(v)
+	}
 
 	old := MaxWorkers()
 	defer SetMaxWorkers(old)
@@ -112,10 +173,40 @@ func TestSetMaxWorkersConcurrent(t *testing.T) {
 		if d := maxAbsDiff(c, want); d > tolFor(k) {
 			t.Fatalf("iter %d: diff %v while retuning workers", iter, d)
 		}
-		SumSquares(a)
+		// The value check matters: a retune that drops the bound to 1
+		// mid-call used to leave stale pooled partials in the sum.
+		if got := SumSquares(a); math.Abs(got-wantSq) > 1e-6 {
+			t.Fatalf("iter %d: SumSquares %v, want %v while retuning workers", iter, got, wantSq)
+		}
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestSumSquaresInlineFallbackCoversAllSlots pins the contract that lets
+// SumSquares survive a concurrent worker retune: when parallelRun falls
+// back to the inline path it delivers one range spanning every grain, and
+// runRange must overwrite every partial slot — stale values left in the
+// pooled slice by a previous call must not leak into the reduction.
+func TestSumSquaresInlineFallbackCoversAllSlots(t *testing.T) {
+	const n, grain = 10_000, 2048
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = 1
+	}
+	chunks := (n + grain - 1) / grain
+	s := &sumSqState{x: x, grain: grain, part: make([]float64, chunks)}
+	for i := range s.part {
+		s.part[i] = 1e9 // poison: any slot not rewritten corrupts the sum
+	}
+	s.runRange(0, n)
+	var sum float64
+	for _, p := range s.part {
+		sum += p
+	}
+	if sum != n {
+		t.Fatalf("inline runRange left stale partials: sum %v, want %v", sum, float64(n))
+	}
 }
 
 // TestSumSquaresPoolDeterministic: the pooled reduction must agree with

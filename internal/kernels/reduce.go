@@ -6,7 +6,7 @@ import (
 )
 
 // sumSqState is the pooled parallel-region body of SumSquares. Each
-// grain-aligned chunk writes its partial into a fixed slot (indexed by
+// grain-sized span writes its partial into a fixed slot (indexed by
 // lo/grain), and the caller reduces the slots in order, so the result is
 // deterministic no matter how the pool schedules chunks.
 type sumSqState struct {
@@ -17,12 +17,21 @@ type sumSqState struct {
 
 var sumSqPool = sync.Pool{New: func() any { return new(sumSqState) }}
 
+// runRange must handle ranges spanning several grains, one slot per grain:
+// if the worker bound drops to 1 between SumSquares sizing part and
+// parallelRun's own load, the inline fallback delivers [0, n) in a single
+// call, and every slot of the pooled part slice must still be (re)written
+// or stale partials from a previous call would leak into the sum.
 func (s *sumSqState) runRange(lo, hi int) {
-	var acc float64
-	for _, v := range s.x[lo:hi] {
-		acc += float64(v) * float64(v)
+	g := s.grain
+	for start := lo; start < hi; start += g {
+		end := min(start+g, hi)
+		var acc float64
+		for _, v := range s.x[start:end] {
+			acc += float64(v) * float64(v)
+		}
+		s.part[start/g] = acc
 	}
-	s.part[lo/s.grain] = acc
 }
 
 // SumSquares returns sum(x[i]^2) in float64 for accuracy; it is the
