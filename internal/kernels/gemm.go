@@ -182,12 +182,86 @@ func axpy(s float32, x, y []float32) {
 // BatchedGEMM performs batch independent GEMMs with identical dimensions,
 // the manifestation of BERT's attention operations (B·h parallel GEMMs
 // launched as a single kernel, Section 3.2.2). Matrix i of each operand
-// begins at offset i·stride of its buffer. Batch elements are distributed
-// over the worker pool; each per-matrix GEMM runs single-threaded to avoid
-// nested dispatch.
+// begins at offset i·stride of its buffer.
+//
+// The batch runs through the flattened blocked engine
+// (gemm_batched_blocked.go): operands are packed once per matrix, then
+// (matrix × row-block × column-segment) work items share one worker-pool
+// region, so load balance does not depend on the batch count and small
+// per-head matrices still hit the SIMD micro-kernel. Batches whose packed
+// operands would exceed the scratch cap fall back to
+// BatchedGEMMPerMatrix. It panics if a stride is smaller than its matrix
+// or a buffer cannot hold all batch entries, since a silent out-of-bounds
+// access would corrupt a later batch element.
 func BatchedGEMM(batch int, transA, transB bool, m, n, k int, alpha float32, a []float32, strideA int, b []float32, strideB int, beta float32, c []float32, strideC int) {
+	checkBatchedGEMMArgs(batch, m, n, k, a, strideA, b, strideB, c, strideC)
+	if batch == 0 {
+		return
+	}
+	if batch == 1 {
+		GEMM(transA, transB, m, n, k, alpha, a, b, beta, c)
+		return
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 || alpha == 0 {
+		for i := 0; i < batch; i++ {
+			scaleC(c[i*strideC:i*strideC+m*n], beta)
+		}
+		return
+	}
+	mr, nr := gemmMR, gemmNR
+	mRound := (m + mr - 1) / mr * mr
+	nRound := (n + nr - 1) / nr * nr
+	if int64(batch)*int64(mRound+nRound)*int64(k) > batchedPackCapFloats {
+		batchedPerMatrix(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
+		return
+	}
+	// The flattened engine wins by (a) running sub-threshold matrices
+	// through the micro-kernel instead of the scalar naive path and
+	// (b) exposing batch x tile parallelism to the pool. With a serial
+	// pool and matrices already above the small-GEMM threshold neither
+	// applies, and per-matrix dispatch keeps each pack L2-resident
+	// instead of staging the whole batch's panels up front.
+	if MaxWorkers() <= 1 && 2*m*n*k >= smallGEMMFlops {
+		batchedPerMatrix(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
+		return
+	}
+	batchedBlocked(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
+}
+
+// BatchedGEMMPerMatrix is the previous batch-level-parallel
+// implementation: batch elements are distributed over the worker pool and
+// each per-matrix GEMM runs single-threaded (naive below the
+// small-product threshold). It is kept as the fallback for batches whose
+// packed operands would not fit the blocked engine's scratch cap, as the
+// "before" baseline for the batched benchmarks, and as a second oracle
+// for the equivalence suite. Same semantics as BatchedGEMM.
+func BatchedGEMMPerMatrix(batch int, transA, transB bool, m, n, k int, alpha float32, a []float32, strideA int, b []float32, strideB int, beta float32, c []float32, strideC int) {
+	checkBatchedGEMMArgs(batch, m, n, k, a, strideA, b, strideB, c, strideC)
+	if batch == 0 {
+		return
+	}
+	if batch == 1 {
+		GEMM(transA, transB, m, n, k, alpha, a, b, beta, c)
+		return
+	}
+	batchedPerMatrix(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
+}
+
+// checkBatchedGEMMArgs validates dims, strides, and — unlike the
+// pre-blocked implementation, which only the first matrix could catch —
+// that every buffer covers its last batch entry: length must reach
+// stride·(batch-1) + matrix size, so a short buffer panics up front
+// instead of corrupting a later batch element mid-run. Buffers whose
+// matrix size is zero are never touched and are exempt.
+func checkBatchedGEMMArgs(batch, m, n, k int, a []float32, strideA int, b []float32, strideB int, c []float32, strideC int) {
 	if batch < 0 {
 		panic("kernels: BatchedGEMM with negative batch")
+	}
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("kernels: BatchedGEMM with negative dims m=%d n=%d k=%d", m, n, k))
 	}
 	if batch == 0 {
 		return
@@ -196,10 +270,22 @@ func BatchedGEMM(batch int, transA, transB bool, m, n, k int, alpha float32, a [
 		panic(fmt.Sprintf("kernels: BatchedGEMM strides (%d,%d,%d) smaller than matrix sizes (%d,%d,%d)",
 			strideA, strideB, strideC, m*k, k*n, m*n))
 	}
-	if batch == 1 {
-		GEMM(transA, transB, m, n, k, alpha, a, b, beta, c)
-		return
+	if need := (batch-1)*strideA + m*k; m*k > 0 && len(a) < need {
+		panic(fmt.Sprintf("kernels: BatchedGEMM A buffer %d < strideA·(batch-1)+m·k = %d (batch=%d strideA=%d m=%d k=%d)",
+			len(a), need, batch, strideA, m, k))
 	}
+	if need := (batch-1)*strideB + k*n; k*n > 0 && len(b) < need {
+		panic(fmt.Sprintf("kernels: BatchedGEMM B buffer %d < strideB·(batch-1)+k·n = %d (batch=%d strideB=%d k=%d n=%d)",
+			len(b), need, batch, strideB, k, n))
+	}
+	if need := (batch-1)*strideC + m*n; m*n > 0 && len(c) < need {
+		panic(fmt.Sprintf("kernels: BatchedGEMM C buffer %d < strideC·(batch-1)+m·n = %d (batch=%d strideC=%d m=%d n=%d)",
+			len(c), need, batch, strideC, m, n))
+	}
+}
+
+// batchedPerMatrix distributes whole matrices over the worker pool.
+func batchedPerMatrix(batch int, transA, transB bool, m, n, k int, alpha float32, a []float32, strideA int, b []float32, strideB int, beta float32, c []float32, strideC int) {
 	s := batchedPool.Get().(*batchedState)
 	s.transA, s.transB = transA, transB
 	s.m, s.n, s.k = m, n, k

@@ -137,50 +137,14 @@ func (g *gemmState) runRange(lo, hi int) {
 }
 
 // tile computes one row-block × column-segment piece of C from the packed
-// panels, sweeping micro-tiles so the A block stays hot in L2.
+// panels via the shared micro-tile sweep (gemm_small.go), keeping the A
+// block hot in L2.
 func (g *gemmState) tile(t int) {
-	mr, nr := gemmMR, gemmNR
-	kcb := g.kcb
 	i := (t / g.segs) * gemmMC
 	iEnd := min(i+gemmMC, g.ms)
 	j0 := (t % g.segs) * g.segCols
 	jEnd := min(j0+g.segCols, g.ncb)
-	kern := microKernel
-	// Edge tiles land in a pooled micro-tile buffer (a plain local array
-	// would escape through the indirect kern call and allocate per tile).
-	var tmp *[microTileMax]float32
-	for jr := j0; jr < jEnd; jr += nr {
-		nw := min(nr, g.ncb-jr)
-		bpanel := g.bp[(jr/nr)*nr*kcb:]
-		for ir := i; ir < iEnd; ir += mr {
-			mw := min(mr, g.ms-ir)
-			apanel := g.ap[(ir/mr)*mr*kcb:]
-			cc := g.c[(g.i0+ir)*g.ldc+g.jc+jr:]
-			if mw == mr && nw == nr {
-				kern(kcb, apanel, bpanel, cc, g.ldc)
-				continue
-			}
-			// Edge tile: compute the full padded micro-tile into the
-			// side buffer, then accumulate only the live region.
-			// Panel padding is zero, so the dead lanes contribute
-			// nothing and are discarded here.
-			if tmp == nil {
-				tmp = microTilePool.Get().(*[microTileMax]float32)
-			}
-			clear(tmp[:mr*nr])
-			kern(kcb, apanel, bpanel, tmp[:], nr)
-			for r := 0; r < mw; r++ {
-				crow := cc[r*g.ldc:]
-				trow := tmp[r*nr:]
-				for q := 0; q < nw; q++ {
-					crow[q] += trow[q]
-				}
-			}
-		}
-	}
-	if tmp != nil {
-		microTilePool.Put(tmp)
-	}
+	microTileSweep(g.c[g.i0*g.ldc+g.jc:], g.ldc, g.ap, g.bp, g.kcb, i, iEnd, j0, jEnd, g.ms, g.ncb)
 }
 
 var microTilePool = sync.Pool{New: func() any { return new([microTileMax]float32) }}

@@ -208,9 +208,11 @@ func checkNaN(t *testing.T, name string, c []float32) {
 	}
 }
 
-// TestGEMMZeroAllocSteadyState: after warm-up, the blocked GEMM (and the
-// batched form) must not allocate — pack scratch, tile state, and pool
-// regions are all recycled.
+// TestGEMMZeroAllocSteadyState: after warm-up, the blocked GEMM, the
+// pre-packed GEMM, and the batched blocked engine must not allocate —
+// pack scratch, tile state, and pool regions are all recycled, and
+// GEMMPacked's operand pack is built once outside the hot loop. This is
+// the alloc guard wired into scripts/check.sh.
 func TestGEMMZeroAllocSteadyState(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates")
@@ -220,6 +222,7 @@ func TestGEMMZeroAllocSteadyState(t *testing.T) {
 	a := randSlice(r, m*k)
 	b := randSlice(r, k*n)
 	c := make([]float32, m*n)
+	pb := PackWeight(true, n, k, randSlice(r, n*k))
 	const batch = 8
 	ab := randSlice(r, batch*32*32)
 	bb := randSlice(r, batch*32*32)
@@ -228,6 +231,7 @@ func TestGEMMZeroAllocSteadyState(t *testing.T) {
 	old := SetMaxWorkers(1)
 	defer SetMaxWorkers(old)
 	GEMM(false, false, m, n, k, 1, a, b, 0, c) // warm the scratch pools
+	GEMMPacked(false, m, n, k, 1, a, pb, 0, c)
 	BatchedGEMM(batch, false, true, 32, 32, 32, 1, ab, 32*32, bb, 32*32, 0, cb, 32*32)
 	if avg := testing.AllocsPerRun(10, func() {
 		GEMM(false, false, m, n, k, 1, a, b, 0, c)
@@ -235,9 +239,22 @@ func TestGEMMZeroAllocSteadyState(t *testing.T) {
 		t.Errorf("GEMM allocates %v per op in steady state, want 0", avg)
 	}
 	if avg := testing.AllocsPerRun(10, func() {
+		GEMMPacked(false, m, n, k, 1, a, pb, 0, c)
+	}); avg != 0 {
+		t.Errorf("GEMMPacked allocates %v per op in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
 		BatchedGEMM(batch, false, true, 32, 32, 32, 1, ab, 32*32, bb, 32*32, 0, cb, 32*32)
 	}); avg != 0 {
 		t.Errorf("BatchedGEMM allocates %v per op in steady state, want 0", avg)
+	}
+	// The public entry may route to the per-matrix path (serial pool, big
+	// matrices); pin the flattened engine itself too.
+	batchedBlocked(batch, false, true, 32, 32, 32, 1, ab, 32*32, bb, 32*32, 0, cb, 32*32)
+	if avg := testing.AllocsPerRun(10, func() {
+		batchedBlocked(batch, false, true, 32, 32, 32, 1, ab, 32*32, bb, 32*32, 0, cb, 32*32)
+	}); avg != 0 {
+		t.Errorf("batchedBlocked allocates %v per op in steady state, want 0", avg)
 	}
 }
 

@@ -119,6 +119,7 @@ func TestTrainingReducesLoss(t *testing.T) {
 			for j := range v {
 				v[j] -= lr * g[j]
 			}
+			p.BumpGen() // manual in-place update: invalidate cached GEMM packs
 			p.ZeroGrad()
 		}
 		m.Step(ctx, b)

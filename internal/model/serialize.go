@@ -90,6 +90,9 @@ func Load(r io.Reader) (*BERT, error) {
 			}
 			data[i] = math.Float32frombits(bits)
 		}
+		// The model is freshly built so no GEMM pack can exist yet, but
+		// bump anyway in case Load ever restores into a used model.
+		p.BumpGen()
 	}
 	return m, nil
 }

@@ -23,6 +23,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		for i := range v {
 			v[i] -= 0.01 * g[i]
 		}
+		p.BumpGen() // manual in-place update: invalidate cached GEMM packs
 		p.ZeroGrad()
 	}
 

@@ -13,6 +13,12 @@ import (
 // The paper finds its runtime contribution negligible (Obs. 1); it is
 // nevertheless implemented in full because it owns ~30% of BERT-Large's
 // parameters and therefore matters to LAMB's update volume.
+//
+// Tok doubles as the tied MLM decoder weight (model.BERT aliases
+// MLMDecoder.W to it), so its Param-level GEMM pack cache serves the
+// vocab-projection Linear too: the embedding's own gather/scatter path
+// never packs, and the decoder's packs invalidate on the same
+// generation counter the optimizers bump (see DESIGN.md §7).
 type Embedding struct {
 	Tok, Pos, Seg *Param
 	LN            *LayerNorm

@@ -50,10 +50,13 @@ func (l *Linear) Forward(ctx *Ctx, x *tensor.Tensor) *tensor.Tensor {
 	y := tensor.New(tokens, l.out)
 	es := ctx.ElemSize()
 
+	// The weight operand is packed once per parameter generation and
+	// reused across micro-batches, gradient-accumulation steps, and eval
+	// (nn.Param.Packed); only the activation operand is packed per call.
 	m, n, k := tokens, l.out, l.in
 	ctx.Prof.Time("linear_fwd_gemm", l.Category, profile.Forward,
 		kernels.GEMMFLOPs(m, n, k), kernels.GEMMBytes(m, n, k, es), func() {
-			kernels.GEMM(false, true, m, n, k, 1, x.Data(), l.W.Value.Data(), 0, y.Data())
+			kernels.GEMMPacked(false, m, n, k, 1, x.Data(), l.W.Packed(true, n, k), 0, y.Data())
 		})
 	ctx.Prof.Time("linear_fwd_bias", l.Category, profile.Forward,
 		kernels.EWFLOPs(tokens*l.out, 1), kernels.EWBytes(tokens*l.out, 1, 1, es), func() {
@@ -75,11 +78,12 @@ func (l *Linear) Backward(ctx *Ctx, dY *tensor.Tensor) *tensor.Tensor {
 	es := ctx.ElemSize()
 	dX := tensor.New(tokens, l.in)
 
-	// dX = dY · W: (tokens×out)·(out×in).
+	// dX = dY · W: (tokens×out)·(out×in), reusing the weight pack for the
+	// untransposed orientation (a second cache slot of the same Param).
 	m, n, k := tokens, l.in, l.out
 	ctx.Prof.Time("linear_bwd_dgrad_gemm", l.Category, profile.Backward,
 		kernels.GEMMFLOPs(m, n, k), kernels.GEMMBytes(m, n, k, es), func() {
-			kernels.GEMM(false, false, m, n, k, 1, dY.Data(), l.W.Value.Data(), 0, dX.Data())
+			kernels.GEMMPacked(false, m, n, k, 1, dY.Data(), l.W.Packed(false, n, k), 0, dX.Data())
 		})
 
 	// dW += dY^T · X: (out×tokens)·(tokens×in).

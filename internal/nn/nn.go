@@ -13,16 +13,32 @@ package nn
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"demystbert/internal/kernels"
 	"demystbert/internal/profile"
 	"demystbert/internal/tensor"
 )
 
 // Param is a trainable parameter tensor with its gradient accumulator.
+//
+// A Param also carries a mutation generation and a cache of micro-panel
+// packings of Value (one per GEMM transpose orientation), so layers that
+// use the weight as a GEMM B operand can call kernels.GEMMPacked without
+// re-packing on every forward/backward. The contract: any code that
+// mutates Value in place after the first forward pass must call BumpGen —
+// the optimizers do (once per step, so the pack is rebuilt at most once
+// per iteration instead of per GEMM call), and construction-time writes
+// need nothing because no pack exists yet. Params must not be copied by
+// value once in use (the generation counter and cache are atomic state;
+// go vet's copylocks check enforces this).
 type Param struct {
 	Name  string
 	Value *tensor.Tensor
 	Grad  *tensor.Tensor
+
+	gen   atomic.Uint64
+	packs kernels.PackCache
 }
 
 // NewParam allocates a parameter and a zeroed gradient of the given shape.
@@ -39,6 +55,24 @@ func (p *Param) Size() int { return p.Value.Size() }
 
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Gen returns the parameter's mutation generation.
+func (p *Param) Gen() uint64 { return p.gen.Load() }
+
+// BumpGen records a mutation of Value, invalidating any cached packs.
+// Safe for concurrent use (ddp replicas step their optimizers
+// concurrently).
+func (p *Param) BumpGen() { p.gen.Add(1) }
+
+// Packed returns the cached micro-panel packing of Value for use as the
+// B operand of kernels.GEMMPacked (op(B) is k×n; Value is stored n×k when
+// transB is true, k×n otherwise). The pack is rebuilt only when the
+// generation, shape, or kernel backend changed since the last call with
+// this orientation. Concurrent readers are safe; the tied MLM-decoder
+// weight shares the embedding Param and therefore this cache.
+func (p *Param) Packed(transB bool, n, k int) *kernels.PackedB {
+	return p.packs.Get(transB, n, k, p.Value.Data(), p.gen.Load())
+}
 
 // Ctx carries per-iteration execution state through forward and backward
 // passes: the profiler, the dropout RNG, the training flag, and whether

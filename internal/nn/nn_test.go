@@ -30,6 +30,19 @@ func dotLoss(y, dY *tensor.Tensor) float64 {
 	return s
 }
 
+// bumped wraps a grad-check forward closure so each evaluation first
+// marks the module's parameters mutated, honoring the pack-cache contract
+// (checkGrad perturbs weight buffers in place, which would otherwise
+// leave a stale cached pack serving Forward).
+func bumped(ps []*Param, forward func() float64) func() float64 {
+	return func() float64 {
+		for _, p := range ps {
+			p.BumpGen()
+		}
+		return forward()
+	}
+}
+
 // checkGrad verifies an analytic gradient against central differences of
 // the forward function at a sample of positions.
 func checkGrad(t *testing.T, name string, buf, grad []float32, forward func() float64, tol float64, stride int) {
@@ -81,9 +94,9 @@ func TestLinearGradCheck(t *testing.T) {
 	y := l.Forward(ctx, x)
 	dX := l.Backward(ctx, dY)
 
-	forwardX := func() float64 {
+	forwardX := bumped(l.Params(), func() float64 {
 		return dotLoss(l.Forward(evalCtx(), x), dY)
-	}
+	})
 	checkGrad(t, "Linear dX", x.Data(), dX.Data(), forwardX, 1e-2, 3)
 	checkGrad(t, "Linear dW", l.W.Value.Data(), l.W.Grad.Data(), forwardX, 1e-2, 5)
 	checkGrad(t, "Linear dB", l.B.Value.Data(), l.B.Grad.Data(), forwardX, 1e-2, 1)
@@ -292,9 +305,9 @@ func TestAttentionGradCheck(t *testing.T) {
 	a.Forward(ctx, x, b, n, nil)
 	dX := a.Backward(ctx, dY)
 
-	forward := func() float64 {
+	forward := bumped(a.Params(), func() float64 {
 		return dotLoss(a.Forward(evalCtx(), x, b, n, nil), dY)
-	}
+	})
 	checkGrad(t, "Attn dX", x.Data(), dX.Data(), forward, 2e-2, 7)
 	dWq := append([]float32(nil), a.Wq.W.Grad.Data()...)
 	checkGrad(t, "Attn dWq", a.Wq.W.Value.Data(), dWq, forward, 2e-2, 13)
@@ -312,9 +325,9 @@ func TestFeedForwardGradCheck(t *testing.T) {
 	ctx := evalCtx()
 	ff.Forward(ctx, x)
 	dX := ff.Backward(ctx, dY)
-	forward := func() float64 {
+	forward := bumped(ff.Params(), func() float64 {
 		return dotLoss(ff.Forward(evalCtx(), x), dY)
-	}
+	})
 	checkGrad(t, "FF dX", x.Data(), dX.Data(), forward, 2e-2, 5)
 	dW1 := append([]float32(nil), ff.FC1.W.Grad.Data()...)
 	checkGrad(t, "FF dW1", ff.FC1.W.Value.Data(), dW1, forward, 2e-2, 17)

@@ -98,6 +98,7 @@ func (o *Adam) stepFused(ctx *nn.Ctx, params []*nn.Param, bc1, bc2 float32) {
 						vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
 						wd[i] -= o.LR * (md[i] / bc1) / (sqrt32(vd[i]/bc2) + o.Eps)
 					}
+					p.BumpGen() // weights changed: invalidate cached GEMM packs
 				}
 			})
 	}
@@ -156,6 +157,7 @@ func (o *Adam) stepUnfused(ctx *nn.Ctx, params []*nn.Param, bc1, bc2 float32) {
 				wd[i] -= o.LR * tmp2[i]
 			}
 		})
+		p.BumpGen() // weights changed: invalidate cached GEMM packs
 	}
 }
 
@@ -182,5 +184,6 @@ func (o *SGD) Step(ctx *nn.Ctx, params []*nn.Param) {
 					wd[i] -= o.LR * gd[i]
 				}
 			})
+		p.BumpGen() // weights changed: invalidate cached GEMM packs
 	}
 }

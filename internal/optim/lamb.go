@@ -130,6 +130,7 @@ func (o *LAMB) Step(ctx *nn.Ctx, params []*nn.Param) {
 					wd[i] -= step * ud[i]
 				}
 			})
+		p.BumpGen() // weights changed: invalidate cached GEMM packs
 	}
 }
 

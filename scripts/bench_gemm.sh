@@ -1,6 +1,8 @@
 #!/bin/sh
 # bench_gemm.sh — run the GEMM benchmarks and emit BENCH_gemm.json with
-# per-shape ns/op, GFLOP/s, and allocs/op for the blocked and naive
+# per-shape ns/op, GFLOP/s, and allocs/op for the blocked, pre-packed
+# (GEMMPacked), naive, and batched (blocked vs per-matrix, Table 2b
+# attention shapes n x n x dHead and n x dHead x n at n in {128, 512})
 # paths. Uses only the go toolchain and awk (no external deps).
 #
 # Usage: scripts/bench_gemm.sh [benchtime]   (default 2x per benchmark)
@@ -12,7 +14,7 @@ OUT=BENCH_gemm.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run 'xxx' -bench 'GEMMPaperSizes|RealGEMM|Fig6GEMMIntensity' \
+go test -run 'xxx' -bench 'GEMMPaperSizes|RealGEMM|RealAttentionBGEMM|Fig6GEMMIntensity' \
 	-benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 awk '

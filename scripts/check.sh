@@ -18,6 +18,9 @@ go test -race ./internal/kernels/ ./internal/tensor/
 echo "== go test ./..."
 go test ./...
 
+echo "== alloc guard (GEMM/GEMMPacked/BatchedGEMM zero steady-state allocs)"
+go test -run 'TestGEMMZeroAllocSteadyState' -count=1 ./internal/kernels/
+
 echo "== bench smoke (GEMM paper shapes, 1 iteration)"
 go test -run 'xxx' -bench 'Fig6GEMMIntensity|GEMMPaperSizes' -benchtime 1x -benchmem . >/dev/null
 
