@@ -9,10 +9,19 @@
 //	         [-model large|base|megatron|gpt]
 //	         [-compute X] [-bandwidth X]
 //	bertchar -export json|csv [-phase 1|2] [-b N] [-mp]
+//	bertchar -steps N [-metrics-jsonl FILE] [-debug-addr HOST:PORT]
 //
 // The -compute and -bandwidth flags scale the device model to project
 // hypothetical accelerator improvements (Section 5.1); -export emits one
-// workload's machine-readable breakdown for plotting pipelines.
+// workload's machine-readable breakdown for plotting pipelines (with the
+// live runtime-counter snapshot embedded).
+//
+// -steps runs a reduced-scale characterization for real on the pure-Go
+// engine: each training step emits one JSON line of telemetry (loss,
+// tokens/s, per-category achieved GFLOP/s and GB/s against the device
+// roofline) to -metrics-jsonl, while -debug-addr serves the runtime
+// counters (pack-cache hit rate, worker-pool dispatch/steal counts,
+// batched-GEMM routing) as Prometheus text plus expvar and pprof.
 package main
 
 import (
@@ -20,9 +29,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"demystbert"
+	"demystbert/internal/data"
+	"demystbert/internal/model"
+	"demystbert/internal/nn"
+	"demystbert/internal/obs"
+	"demystbert/internal/optim"
+	"demystbert/internal/profile"
 	"demystbert/internal/report"
+	"demystbert/internal/tensor"
 )
 
 func main() {
@@ -40,8 +57,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	phase := fs.Int("phase", 1, "pre-training phase for -export (1: n=128, 2: n=512)")
 	batch := fs.Int("b", 32, "mini-batch size for -export")
 	mp := fs.Bool("mp", false, "mixed precision for -export")
+	steps := fs.Int("steps", 0, "run this many reduced-scale real training steps with live telemetry (defaults to 3 when -metrics-jsonl is set)")
+	metricsPath := fs.String("metrics-jsonl", "", "write one JSON telemetry record per live step to this path")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *steps == 0 && *metricsPath != "" {
+		*steps = 3
+	}
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(stderr, "bertchar: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "debug server: http://%s/metrics\n", srv.Addr)
 	}
 
 	var cfg demystbert.Config
@@ -65,6 +98,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "device: %s (compute x%.2f, bandwidth x%.2f)\n", dev.Name, *computeX, *bwX)
 	}
 
+	if *steps > 0 {
+		if err := runLive(stdout, *steps, *metricsPath, *mp, dev); err != nil {
+			fmt.Fprintf(stderr, "bertchar: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
 	if *export != "" {
 		prec := demystbert.FP32
 		if *mp {
@@ -78,7 +119,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var err error
 		switch *export {
 		case "json":
-			err = report.WriteJSON(stdout, r)
+			err = report.WriteJSONExport(stdout, report.ExportWithRuntime(r, obs.Default.Snapshot()))
 		case "csv":
 			err = report.WriteCSV(stdout, r)
 		default:
@@ -102,4 +143,93 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// runLive trains a reduced-scale BERT for real on the pure-Go engine and
+// emits one telemetry record per step: the live counterpart of the
+// analytical characterization, sharing its JSONL schema and the device
+// roofline the achieved rates are compared against.
+func runLive(stdout io.Writer, steps int, metricsPath string, mp bool, dev demystbert.Device) error {
+	cfg := model.Config{
+		Vocab:     1000,
+		MaxPos:    32,
+		NumLayers: 2,
+		DModel:    64,
+		Heads:     4,
+		DFF:       256,
+		DropProb:  0.1,
+	}
+	const b, n, seed = 4, 32, 42
+	m, err := model.New(cfg, seed)
+	if err != nil {
+		return err
+	}
+
+	out := stdout
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	emitter := obs.NewStepEmitter(out, dev.Peaks())
+
+	fmt.Fprintf(stdout, "live run: BERT N=%d d_model=%d h=%d d_ff=%d, B=%d n=%d, %d steps (mixed-precision=%v)\n",
+		cfg.NumLayers, cfg.DModel, cfg.Heads, cfg.DFF, b, n, steps, mp)
+
+	gen := data.NewGenerator(cfg.Vocab, 0.15, seed+1)
+	ctx := &nn.Ctx{Prof: profile.New(), RNG: tensor.NewRNG(seed + 2), Train: true, MixedPrecision: mp}
+	opt := optim.NewLAMB(0.01)
+	scaler := optim.NewDynamicLossScaler()
+
+	// Warm-up step (untimed, not emitted) so pack caches and the worker
+	// pool are hot before the first measured step.
+	warm := gen.Next(b, n)
+	if mp {
+		scaler.Arm(ctx)
+	}
+	m.Step(ctx, warm)
+	if !mp || scaler.UnscaleAndCheck(m.Params()) {
+		opt.Step(ctx, m.Params())
+	}
+	m.ZeroGrads()
+	ctx.Prof.Reset()
+
+	for i := 1; i <= steps; i++ {
+		evBase := ctx.Prof.KernelCount()
+		start := time.Now()
+		batch := gen.Next(b, n)
+		if mp {
+			scaler.Arm(ctx)
+		}
+		loss := m.Step(ctx, batch)
+		if !mp || scaler.UnscaleAndCheck(m.Params()) {
+			opt.Step(ctx, m.Params())
+		}
+		m.ZeroGrads()
+		sum := profile.Summarize(ctx.Prof.Events()[evBase:])
+		if err := emitter.EmitStep(i, loss, b*n, time.Since(start), sum); err != nil {
+			return fmt.Errorf("metrics emit: %w", err)
+		}
+		fmt.Fprintf(stdout, "step %d: loss %.4f\n", i, loss)
+	}
+
+	// Close the loop on the runtime counters the debug endpoint serves.
+	fmt.Fprintln(stdout)
+	for _, name := range []string{
+		"kernels_pack_cache_hits_total",
+		"kernels_pack_cache_misses_total",
+		"kernels_pack_cache_rebuilds_total",
+		"kernels_pool_dispatches_total",
+		"kernels_pool_steals_total",
+		"kernels_batched_gemm_blocked_total",
+		"kernels_batched_gemm_per_matrix_total",
+	} {
+		if metric, ok := obs.Default.Find(name); ok {
+			fmt.Fprintf(stdout, "%s %.0f\n", name, metric.Value)
+		}
+	}
+	return nil
 }

@@ -11,6 +11,10 @@
 //	bertdist -ts 4 -b 32           # custom tensor-slicing profile
 //	bertdist -ts 8 -in-network     # switch-resident AllReduce
 //	bertdist -link 4               # 4x faster interconnect projection
+//
+// -metrics-jsonl writes the modeled single-device iteration as one
+// telemetry record in the shared per-step JSONL schema; -debug-addr
+// serves the runtime counter registry, expvar, and pprof.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"demystbert"
 	"demystbert/internal/dist"
+	"demystbert/internal/obs"
 	"demystbert/internal/opgraph"
 	"demystbert/internal/perfmodel"
 	"demystbert/internal/report"
@@ -42,8 +47,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noOverlap := fs.Bool("no-overlap", false, "disable DP compute/comm overlap")
 	zero := fs.Bool("zero", false, "with -dp: model ZeRO-style reduced-gradient DP")
 	inNetwork := fs.Bool("in-network", false, "with -ts: model in-network AllReduce (Section 6.2.3)")
+	metricsPath := fs.String("metrics-jsonl", "", "write the modeled per-device iteration as one JSON telemetry record to this path")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(stderr, "bertdist: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "debug server: http://%s/metrics\n", srv.Addr)
 	}
 
 	cfg := demystbert.BERTLarge()
@@ -53,6 +70,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		prec = demystbert.Mixed
 	}
 	w := demystbert.Phase1(cfg, *b, prec)
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "bertdist: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		r := perfmodel.Run(opgraph.Build(w), dev)
+		rec := report.StepRecordFromResult(1, r)
+		if err := obs.NewStepEmitter(f, dev.Peaks()).Emit(rec); err != nil {
+			fmt.Fprintf(stderr, "bertdist: metrics emit: %v\n", err)
+			return 2
+		}
+	}
 
 	if *dp == 0 && *ts == 0 {
 		report.Fig11(stdout, cfg, dev)

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,6 +61,35 @@ func TestLinkScalingAndMP(t *testing.T) {
 	out, code := runCmd(t, "-ts", "2", "-mp", "-link", "4")
 	if code != 0 || !strings.Contains(out, "TS-2-way") {
 		t.Fatalf("scaled-link MP TS failed: code %d", code)
+	}
+}
+
+func TestMetricsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "step.jsonl")
+	_, code := runCmd(t, "-dp", "64", "-metrics-jsonl", path)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if rec["step"] != float64(1) || rec["tokens_per_sec"] == float64(0) {
+		t.Fatalf("modeled record malformed: %v", rec)
+	}
+	if cats, ok := rec["categories"].([]any); !ok || len(cats) == 0 {
+		t.Fatalf("modeled record has no categories: %v", rec)
+	}
+}
+
+func TestDebugAddr(t *testing.T) {
+	out, code := runCmd(t, "-debug-addr", "127.0.0.1:0")
+	if code != 0 || !strings.Contains(out, "debug server: http://127.0.0.1:") {
+		t.Fatalf("debug server did not start: code %d\n%s", code, out)
 	}
 }
 

@@ -9,6 +9,12 @@
 //	         [-b B] [-n SEQ] [-iters I] [-mp] [-checkpoint K]
 //	         [-causal] [-fused-attention] [-mode pretrain|finetune]
 //	         [-trace FILE] [-seed S]
+//	         [-metrics-jsonl FILE] [-debug-addr HOST:PORT]
+//
+// -metrics-jsonl streams one JSON record per training step (loss,
+// tokens/s, per-category achieved GFLOP/s and GB/s against the MI100
+// roofline); -debug-addr serves live Prometheus-text runtime counters,
+// expvar, and pprof while the run is in flight.
 package main
 
 import (
@@ -16,10 +22,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"demystbert/internal/data"
+	"demystbert/internal/device"
 	"demystbert/internal/model"
 	"demystbert/internal/nn"
+	"demystbert/internal/obs"
 	"demystbert/internal/optim"
 	"demystbert/internal/profile"
 	"demystbert/internal/tensor"
@@ -47,8 +56,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mode := fs.String("mode", "pretrain", "pretrain or finetune")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the kernel timeline to this path")
 	seed := fs.Uint64("seed", 42, "deterministic seed")
+	metricsPath := fs.String("metrics-jsonl", "", "write one JSON telemetry record per training step to this path")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(stderr, "bertprof: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "debug server: http://%s/metrics\n", srv.Addr)
+	}
+	var emitter *obs.StepEmitter
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "bertprof: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		emitter = obs.NewStepEmitter(f, device.MI100().Peaks())
 	}
 
 	cfg := model.Config{
@@ -79,7 +110,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt := optim.NewLAMB(0.01)
 	scaler := optim.NewDynamicLossScaler()
 
-	step := func(stepFn func() float64, params []*nn.Param, zero func()) float64 {
+	// step runs one full iteration; i >= 1 marks a measured step whose
+	// telemetry (loss, tokens/s, per-category achieved rates over the
+	// step's own event suffix) goes to the JSONL emitter.
+	step := func(i int, stepFn func() float64, params []*nn.Param, zero func()) float64 {
+		evBase := ctx.Prof.KernelCount()
+		start := time.Now()
 		if *mp {
 			scaler.Arm(ctx)
 		}
@@ -92,6 +128,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			opt.Step(ctx, params)
 		}
 		zero()
+		if emitter != nil && i >= 1 {
+			sum := profile.Summarize(ctx.Prof.Events()[evBase:])
+			if err := emitter.EmitStep(i, loss, *b**n, time.Since(start), sum); err != nil {
+				fmt.Fprintf(stderr, "bertprof: metrics emit: %v\n", err)
+			}
+		}
 		return loss
 	}
 
@@ -99,23 +141,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "pretrain":
 		// Warm-up iteration, as the paper does before profiling.
 		warm := gen.Next(*b, *n)
-		step(func() float64 { return m.Step(ctx, warm) }, m.Params(), m.ZeroGrads)
+		step(0, func() float64 { return m.Step(ctx, warm) }, m.Params(), m.ZeroGrads)
 		ctx.Prof.Reset()
 
 		for i := 0; i < *iters; i++ {
 			batch := gen.Next(*b, *n)
-			loss := step(func() float64 { return m.Step(ctx, batch) }, m.Params(), m.ZeroGrads)
+			loss := step(i+1, func() float64 { return m.Step(ctx, batch) }, m.Params(), m.ZeroGrads)
 			fmt.Fprintf(stdout, "iteration %d: loss %.4f (%d masked tokens)\n", i+1, loss, batch.MaskedCount())
 		}
 	case "finetune":
 		f := model.NewFineTuner(m, *seed+3)
 		warm := gen.NextQA(*b, *n)
-		step(func() float64 { return f.Step(ctx, warm) }, f.Params(), f.ZeroGrads)
+		step(0, func() float64 { return f.Step(ctx, warm) }, f.Params(), f.ZeroGrads)
 		ctx.Prof.Reset()
 
 		for i := 0; i < *iters; i++ {
 			batch := gen.NextQA(*b, *n)
-			loss := step(func() float64 { return f.Step(ctx, batch) }, f.Params(), f.ZeroGrads)
+			loss := step(i+1, func() float64 { return f.Step(ctx, batch) }, f.Params(), f.ZeroGrads)
 			fmt.Fprintf(stdout, "iteration %d: span loss %.4f\n", i+1, loss)
 		}
 	default:

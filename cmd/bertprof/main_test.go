@@ -70,6 +70,58 @@ func TestTraceOutput(t *testing.T) {
 	}
 }
 
+func TestMetricsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "steps.jsonl")
+	_, code := runCmd(t, "-iters", "2", "-metrics-jsonl", path)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL records, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i+1, err)
+		}
+		if rec["step"] != float64(i+1) {
+			t.Fatalf("line %d has step %v", i+1, rec["step"])
+		}
+		if rec["loss"] == float64(0) || rec["tokens_per_sec"] == float64(0) {
+			t.Fatalf("line %d missing loss or tokens/s: %s", i+1, line)
+		}
+		cats, ok := rec["categories"].([]any)
+		if !ok || len(cats) == 0 {
+			t.Fatalf("line %d has no categories", i+1)
+		}
+		first := cats[0].(map[string]any)
+		for _, key := range []string{"achieved_gflops", "achieved_gbs", "time_ms"} {
+			if _, ok := first[key]; !ok {
+				t.Fatalf("category row missing %q: %v", key, first)
+			}
+		}
+	}
+}
+
+func TestDebugAddr(t *testing.T) {
+	out, code := runCmd(t, "-iters", "1", "-debug-addr", "127.0.0.1:0")
+	if code != 0 || !strings.Contains(out, "debug server: http://127.0.0.1:") {
+		t.Fatalf("debug server did not start: code %d\n%s", code, out[:min(200, len(out))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 func TestBadConfig(t *testing.T) {
 	if _, code := runCmd(t, "-dmodel", "7", "-heads", "2"); code == 0 {
 		t.Fatal("indivisible d_model must fail")

@@ -9,6 +9,11 @@
 //	bertsweep -sweep layers -values 12,24,48
 //	bertsweep -sweep batch  -values 2,4,8,16,32,64
 //	bertsweep -sweep seqlen -values 64,128,256,512
+//
+// -metrics-jsonl writes one telemetry record per sweep point (or one
+// default-workload record for the fixed input/model sweeps) in the shared
+// per-step JSONL schema; -debug-addr serves the runtime counter registry,
+// expvar, and pprof.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"demystbert"
+	"demystbert/internal/obs"
 	"demystbert/internal/report"
 )
 
@@ -34,8 +40,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sweep := fs.String("sweep", "input", "sweep: input, model, layers, batch, seqlen")
 	values := fs.String("values", "", "comma-separated values for layers/batch/seqlen sweeps")
 	mp := fs.Bool("mp", false, "mixed precision")
+	metricsPath := fs.String("metrics-jsonl", "", "write one JSON telemetry record per sweep point to this path")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(stderr, "bertsweep: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "debug server: http://%s/metrics\n", srv.Addr)
 	}
 
 	dev := demystbert.MI100()
@@ -44,11 +62,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		prec = demystbert.Mixed
 	}
 
+	var emitter *obs.StepEmitter
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "bertsweep: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		emitter = obs.NewStepEmitter(f, dev.Peaks())
+	}
+	emit := func(point int, r *demystbert.Result) bool {
+		if emitter == nil {
+			return true
+		}
+		if err := emitter.Emit(report.StepRecordFromResult(point, r)); err != nil {
+			fmt.Fprintf(stderr, "bertsweep: metrics emit: %v\n", err)
+			return false
+		}
+		return true
+	}
+
 	switch *sweep {
 	case "input":
 		report.Fig8(stdout, demystbert.BERTLarge(), dev)
+		if !emit(1, demystbert.Characterize(demystbert.Phase1(demystbert.BERTLarge(), 16, prec), dev)) {
+			return 2
+		}
 	case "model":
 		report.Fig9(stdout, dev)
+		if !emit(1, demystbert.Characterize(demystbert.Phase1(demystbert.BERTLarge(), 16, prec), dev)) {
+			return 2
+		}
 	case "layers", "batch", "seqlen":
 		vals, err := parseValues(*values, defaults(*sweep))
 		if err != nil {
@@ -57,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "%-8s %10s %10s %8s %8s %8s %8s\n",
 			*sweep, "iteration", "tokens/s", "GEMM%", "LAMB%", "Attn%", "Lin+FC%")
-		for _, v := range vals {
+		for i, v := range vals {
 			cfg := demystbert.BERTLarge()
 			w := demystbert.Phase1(cfg, 16, prec)
 			switch *sweep {
@@ -74,6 +119,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				v, r.Total.Round(time.Millisecond), r.TokensPerSecond()/1e3,
 				100*r.GEMMShare(), 100*r.LAMBShare(),
 				100*r.AttentionOpsShare(), 100*r.LinearFCShare())
+			if !emit(i+1, r) {
+				return 2
+			}
 		}
 	default:
 		fmt.Fprintf(stderr, "bertsweep: unknown sweep %q\n", *sweep)

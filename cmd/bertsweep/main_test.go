@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,6 +53,63 @@ func TestSeqlenSweepMixedPrecision(t *testing.T) {
 	out, code := runCmd(t, "-sweep", "seqlen", "-values", "128,512", "-mp")
 	if code != 0 || strings.Count(out, "\n") != 3 {
 		t.Fatalf("seqlen sweep failed: code %d\n%s", code, out)
+	}
+}
+
+func TestMetricsJSONLPerPoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "points.jsonl")
+	_, code := runCmd(t, "-sweep", "batch", "-values", "4,8,16", "-metrics-jsonl", path)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d JSONL records, want 3 (one per sweep point)", len(lines))
+	}
+	var prevTokens float64
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i+1, err)
+		}
+		if rec["step"] != float64(i+1) {
+			t.Fatalf("line %d has step %v", i+1, rec["step"])
+		}
+		tokens := rec["tokens"].(float64)
+		if tokens <= prevTokens {
+			t.Fatalf("batch sweep tokens not increasing: %v then %v", prevTokens, tokens)
+		}
+		prevTokens = tokens
+	}
+}
+
+func TestMetricsJSONLFixedSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "point.jsonl")
+	_, code := runCmd(t, "-sweep", "input", "-metrics-jsonl", path)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if rec["step"] != float64(1) {
+		t.Fatalf("fixed sweep record malformed: %v", rec)
+	}
+}
+
+func TestDebugAddr(t *testing.T) {
+	out, code := runCmd(t, "-sweep", "input", "-debug-addr", "127.0.0.1:0")
+	if code != 0 || !strings.Contains(out, "debug server: http://127.0.0.1:") {
+		t.Fatalf("debug server did not start: code %d\n%s", code, out)
 	}
 }
 

@@ -3,13 +3,28 @@ package ddp
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"demystbert/internal/data"
 	"demystbert/internal/model"
 	"demystbert/internal/nn"
+	"demystbert/internal/obs"
 	"demystbert/internal/optim"
 	"demystbert/internal/profile"
 	"demystbert/internal/tensor"
+)
+
+// Trainer-loop telemetry: step latency distribution and cumulative
+// gradient-synchronization traffic, served at /metrics alongside the
+// kernel-layer counters.
+var (
+	stepsTotal = obs.NewCounter("ddp_steps_total",
+		"data-parallel training steps completed")
+	allreduceBytes = obs.NewCounter("ddp_allreduce_bytes_total",
+		"bytes transmitted per replica for gradient all-reduce")
+	stepSeconds = obs.NewHistogram("ddp_step_wall_seconds",
+		"wall-clock time of one data-parallel training step",
+		obs.ExpBuckets(1e-4, 4, 12)) // 100 µs .. ~400 s
 )
 
 // Trainer trains D identically-initialized BERT replicas data-parallel:
@@ -69,6 +84,7 @@ func (t *Trainer) Step(batches []*data.Batch) ([]float64, error) {
 	if len(batches) != d {
 		return nil, fmt.Errorf("ddp: %d batches for %d replicas", len(batches), d)
 	}
+	stepStart := time.Now()
 
 	// Local forward/backward in parallel.
 	losses := make([]float64, d)
@@ -115,6 +131,10 @@ func (t *Trainer) Step(batches []*data.Batch) ([]float64, error) {
 		}(i)
 	}
 	wg.Wait()
+
+	stepsTotal.Inc()
+	allreduceBytes.Add(t.CommBytesPerStep())
+	stepSeconds.Observe(time.Since(stepStart).Seconds())
 	return losses, nil
 }
 

@@ -17,6 +17,7 @@ package device
 import (
 	"time"
 
+	"demystbert/internal/obs"
 	"demystbert/internal/opgraph"
 )
 
@@ -89,6 +90,17 @@ func MI100() Device {
 
 		Interconnect:        32e9, // PCIe 4.0 x16 per direction
 		InterconnectLatency: 5 * time.Microsecond,
+	}
+}
+
+// Peaks exports the device's roofline ceilings in the plain form the
+// obs per-step JSONL emitter compares achieved rates against (obs sits
+// below this package in the import graph, so it cannot take a Device).
+func (d Device) Peaks() obs.Peaks {
+	return obs.Peaks{
+		GEMMFLOPS:   d.GEMMPeakFP32,
+		VectorFLOPS: d.VectorPeak,
+		MemBytes:    d.MemBW,
 	}
 }
 

@@ -215,6 +215,8 @@ func BatchedGEMM(batch int, transA, transB bool, m, n, k int, alpha float32, a [
 	mRound := (m + mr - 1) / mr * mr
 	nRound := (n + nr - 1) / nr * nr
 	if int64(batch)*int64(mRound+nRound)*int64(k) > batchedPackCapFloats {
+		batchedPackCapTrips.Inc()
+		batchedPerMatrixRuns.Inc()
 		batchedPerMatrix(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
 		return
 	}
@@ -225,9 +227,11 @@ func BatchedGEMM(batch int, transA, transB bool, m, n, k int, alpha float32, a [
 	// applies, and per-matrix dispatch keeps each pack L2-resident
 	// instead of staging the whole batch's panels up front.
 	if MaxWorkers() <= 1 && 2*m*n*k >= smallGEMMFlops {
+		batchedPerMatrixRuns.Inc()
 		batchedPerMatrix(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
 		return
 	}
+	batchedBlockedRuns.Inc()
 	batchedBlocked(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
 }
 

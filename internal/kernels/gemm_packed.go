@@ -155,8 +155,17 @@ func (pc *PackCache) Get(transB bool, n, k int, b []float32, gen uint64) *Packed
 	if transB {
 		slot = &pc.e[1]
 	}
-	if e := slot.Load(); e != nil && e.gen == gen && e.pb.Matches(transB, n, k) {
+	e := slot.Load()
+	if e != nil && e.gen == gen && e.pb.Matches(transB, n, k) {
+		packCacheHits.Inc()
 		return e.pb
+	}
+	if e != nil && e.pb.Matches(transB, n, k) {
+		// Same shape and backend, stale generation: the optimizer moved
+		// the weights since the pack was built.
+		packCacheRebuilds.Inc()
+	} else {
+		packCacheMisses.Inc()
 	}
 	pb := PackWeight(transB, n, k, b)
 	slot.Store(&packEntry{gen: gen, pb: pb})

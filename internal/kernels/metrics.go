@@ -1,0 +1,33 @@
+package kernels
+
+import "demystbert/internal/obs"
+
+// Runtime counters for the kernel layer's three hot subsystems — the
+// worker pool, the pre-packed-weight cache, and the batched-GEMM engine
+// router. All are plain atomic adds (obs hot-path contract), so the
+// zero-alloc guarantees of the dispatch paths hold with instrumentation
+// on; served live at /metrics by the obs debug server.
+var (
+	poolDispatches = obs.NewCounter("kernels_pool_dispatches_total",
+		"parallel regions dispatched to the worker pool")
+	poolInline = obs.NewCounter("kernels_pool_inline_total",
+		"parallel regions run inline (serial pool, tiny n, or single chunk)")
+	poolGrains = obs.NewCounter("kernels_pool_grains_total",
+		"grain-sized work chunks handed out by region drains")
+	poolSteals = obs.NewCounter("kernels_pool_steals_total",
+		"regions stolen from the queue by a joining caller while it waited")
+
+	packCacheHits = obs.NewCounter("kernels_pack_cache_hits_total",
+		"weight-pack cache lookups served from the cached panels")
+	packCacheMisses = obs.NewCounter("kernels_pack_cache_misses_total",
+		"weight-pack cache lookups with no usable entry (cold or wrong shape/backend)")
+	packCacheRebuilds = obs.NewCounter("kernels_pack_cache_rebuilds_total",
+		"weight-pack cache entries rebuilt because the parameter generation moved")
+
+	batchedBlockedRuns = obs.NewCounter("kernels_batched_gemm_blocked_total",
+		"batched GEMMs routed to the flattened blocked engine")
+	batchedPerMatrixRuns = obs.NewCounter("kernels_batched_gemm_per_matrix_total",
+		"batched GEMMs routed to the per-matrix fallback path")
+	batchedPackCapTrips = obs.NewCounter("kernels_batched_gemm_pack_cap_trips_total",
+		"batched GEMMs that exceeded the packed-scratch cap and fell back")
+)

@@ -1,0 +1,102 @@
+package kernels
+
+import (
+	"testing"
+
+	"demystbert/internal/obs"
+)
+
+// counterDelta runs f and returns how much the counter moved. Counters
+// are process-global and other tests run kernels, so assertions are on
+// deltas, not absolute values, and the heavier checks run the workload
+// in isolation within one test body.
+func counterDelta(c *obs.Counter, f func()) int64 {
+	before := c.Value()
+	f()
+	return c.Value() - before
+}
+
+func TestPoolDispatchCounters(t *testing.T) {
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			_ = i * i
+		}
+	}
+
+	old := SetMaxWorkers(1)
+	if d := counterDelta(poolInline, func() { parallelFor(1024, body) }); d != 1 {
+		t.Errorf("serial pool: inline delta %d, want 1", d)
+	}
+	SetMaxWorkers(4)
+	if d := counterDelta(poolDispatches, func() { parallelFor(1024, body) }); d != 1 {
+		t.Errorf("parallel pool: dispatch delta %d, want 1", d)
+	}
+	if d := counterDelta(poolGrains, func() { parallelFor(1024, body) }); d < 2 {
+		t.Errorf("parallel pool: grain delta %d, want >= 2", d)
+	}
+	SetMaxWorkers(old)
+}
+
+func TestPackCacheCounters(t *testing.T) {
+	b := make([]float32, 64*48)
+	for i := range b {
+		b[i] = float32(i%7) - 3
+	}
+	var pc PackCache
+
+	if d := counterDelta(packCacheMisses, func() { pc.Get(false, 48, 64, b, 1) }); d != 1 {
+		t.Errorf("cold lookup: miss delta %d, want 1", d)
+	}
+	if d := counterDelta(packCacheHits, func() { pc.Get(false, 48, 64, b, 1) }); d != 1 {
+		t.Errorf("warm lookup: hit delta %d, want 1", d)
+	}
+	// Same shape, moved generation: a rebuild, not a cold miss.
+	if d := counterDelta(packCacheRebuilds, func() { pc.Get(false, 48, 64, b, 2) }); d != 1 {
+		t.Errorf("stale lookup: rebuild delta %d, want 1", d)
+	}
+	// The other orientation is its own slot: cold again.
+	if d := counterDelta(packCacheMisses, func() { pc.Get(true, 64, 48, b, 2) }); d != 1 {
+		t.Errorf("other orientation: miss delta %d, want 1", d)
+	}
+}
+
+func TestBatchedRoutingCounters(t *testing.T) {
+	const batch, m, n, k = 4, 16, 16, 8
+	a := make([]float32, batch*m*k)
+	b := make([]float32, batch*k*n)
+	c := make([]float32, batch*m*n)
+	for i := range a {
+		a[i] = float32(i % 5)
+	}
+	for i := range b {
+		b[i] = float32(i % 3)
+	}
+
+	old := SetMaxWorkers(2)
+	defer SetMaxWorkers(old)
+	if d := counterDelta(batchedBlockedRuns, func() {
+		BatchedGEMM(batch, false, false, m, n, k, 1, a, m*k, b, k*n, 0, c, m*n)
+	}); d != 1 {
+		t.Errorf("small batch: blocked delta %d, want 1", d)
+	}
+
+	// A batch whose packed panels exceed the scratch cap must trip the
+	// cap counter and route per-matrix. 2 × (512+512) × 8192 floats
+	// ≈ 2^23+ > batchedPackCapFloats.
+	big := 512
+	kBig := 8192
+	ab := make([]float32, 2*big*kBig)
+	bb := make([]float32, 2*kBig*big)
+	cb := make([]float32, 2*big*big)
+	capd := counterDelta(batchedPackCapTrips, func() {
+		pmd := counterDelta(batchedPerMatrixRuns, func() {
+			BatchedGEMM(2, false, false, big, big, kBig, 1, ab, big*kBig, bb, kBig*big, 0, cb, big*big)
+		})
+		if pmd != 1 {
+			t.Errorf("cap trip: per-matrix delta %d, want 1", pmd)
+		}
+	})
+	if capd != 1 {
+		t.Errorf("cap trip delta %d, want 1", capd)
+	}
+}

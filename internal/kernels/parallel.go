@@ -73,15 +73,20 @@ type region struct {
 func (r *region) drain() {
 	n := int64(r.n)
 	g := int64(r.grain)
+	var chunks int64
 	for {
 		hi := r.next.Add(g)
 		lo := hi - g
 		if lo >= n {
+			if chunks > 0 {
+				poolGrains.Add(chunks)
+			}
 			return
 		}
 		if hi > n {
 			hi = n
 		}
+		chunks++
 		r.body.runRange(int(lo), int(hi))
 		r.done.Add(hi - lo)
 	}
@@ -152,9 +157,11 @@ func parallelRun(n, grain int, body blockBody) {
 		w = items
 	}
 	if w <= 1 {
+		poolInline.Inc()
 		body.runRange(0, n)
 		return
 	}
+	poolDispatches.Inc()
 	ensureWorkers(w - 1)
 	r := regionPool.Get().(*region)
 	r.body, r.n, r.grain = body, n, grain
@@ -179,6 +186,7 @@ enlist:
 	for spins := 0; r.done.Load() < int64(n) || r.pending.Load() > 0; {
 		select {
 		case other := <-workCh:
+			poolSteals.Inc()
 			other.drain()
 			other.pending.Add(-1)
 			spins = 0
@@ -209,6 +217,7 @@ func parallelFor(n int, body func(lo, hi int)) {
 	}
 	w := int(maxWorkers.Load())
 	if w == 1 || n < 4 {
+		poolInline.Inc()
 		body(0, n)
 		return
 	}

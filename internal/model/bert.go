@@ -259,6 +259,7 @@ func (m *BERT) backwardWithCheckpoints(ctx *nn.Ctx, dSeq *tensor.Tensor) {
 // is the caller's job (internal/optim), matching the paper's FWD/BWD/
 // update decomposition.
 func (m *BERT) Step(ctx *nn.Ctx, b *data.Batch) float64 {
+	ctx.Prof.BeginIteration()
 	loss := m.Forward(ctx, b)
 	m.Backward(ctx)
 	return loss

@@ -107,6 +107,7 @@ func (f *FineTuner) Backward(ctx *nn.Ctx) {
 
 // Step runs one fine-tuning iteration and returns the loss.
 func (f *FineTuner) Step(ctx *nn.Ctx, b *data.QABatch) float64 {
+	ctx.Prof.BeginIteration()
 	loss := f.Forward(ctx, b)
 	f.Backward(ctx)
 	return loss

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the in-process observability endpoint: Prometheus-text
+// metrics, Go expvar, and net/http/pprof profiling on one listener. It
+// is the live counterpart of rocProf's offline timelines — attachable
+// to any running binary via the -debug-addr flag.
+type DebugServer struct {
+	// Addr is the address actually bound (useful when the requested
+	// port was 0).
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewDebugMux returns the debug routing table serving reg:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar JSON (cmdline, memstats, published vars)
+//	/debug/pprof/  pprof index, profile, heap, trace, ...
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer binds addr (e.g. "localhost:6060", or ":0" for an
+// ephemeral port) and serves the debug mux for reg until Close. It
+// returns once the listener is bound, so /metrics is immediately
+// curl-able.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+	s := &DebugServer{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv: &http.Server{
+			Handler:           NewDebugMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the listener and any in-flight handlers.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDebugServerSmoke starts the debug server on an ephemeral port and
+// asserts every mounted endpoint responds — the CI smoke test that a
+// binary run with -debug-addr is actually observable.
+func TestDebugServerSmoke(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("smoke_total", "smoke counter").Add(5)
+	s, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "smoke_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars missing memstats:\n%.200s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ index malformed:\n%.200s", body)
+	}
+}
+
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, err := StartDebugServer("256.256.256.256:1", NewRegistry()); err == nil {
+		t.Fatal("bad address must error")
+	}
+}
+
+func TestDebugServerCloseNil(t *testing.T) {
+	var s *DebugServer
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package obs is the observability backbone of the engine: a
+// stdlib-only metrics layer (atomic counters, gauges, and fixed-bucket
+// histograms in a named registry) with three sinks — a Prometheus-text /
+// expvar / pprof debug HTTP server (http.go), a per-step JSONL emitter
+// (jsonl.go), and a Snapshot API that reports can embed. The paper's
+// methodology is observation (rocProf timelines decomposed into operator
+// categories and achieved FLOP/byte rates, Sections 3–4); this package
+// makes the same quantities visible while a run is in flight instead of
+// only post-hoc.
+//
+// Hot-path contract: Counter.Add, Gauge.Set/Add, and Histogram.Observe
+// are single atomic operations (a short CAS loop for float sums) and
+// never allocate, so kernels may call them from inner dispatch loops.
+// Metric construction and registration happen once, at package init or
+// setup time.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (events, bytes, cache
+// hits). The zero value is usable but unregistered; use NewCounter.
+type Counter struct {
+	name, desc string
+	v          atomic.Int64
+}
+
+// Add increments the counter by n. Allocation-free.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one. Allocation-free.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depth, cache size,
+// current scale). Stored as float64 bits so Set is one atomic store.
+type Gauge struct {
+	name, desc string
+	bits       atomic.Uint64
+}
+
+// Set replaces the gauge value. Allocation-free.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (CAS loop). Allocation-free.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets chosen at
+// construction (Prometheus-style cumulative export). Observe is a linear
+// bucket scan plus two atomics — allocation-free and lock-free.
+type Histogram struct {
+	name, desc string
+	bounds     []float64 // ascending inclusive upper bounds
+	counts     []atomic.Int64
+	sumBits    atomic.Uint64
+}
+
+// Observe records one value. Allocation-free.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n ascending bucket bounds starting at start and
+// growing by factor — the usual shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// metric is the registry's view of any metric kind.
+type metric interface {
+	metricName() string
+	snapshot() Metric
+}
+
+func (c *Counter) metricName() string   { return c.name }
+func (g *Gauge) metricName() string     { return g.name }
+func (h *Histogram) metricName() string { return h.name }
+
+// Registry is a named set of metrics. Registration takes a lock;
+// metric updates never do.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry (tests use isolated ones; the
+// engine shares Default).
+func NewRegistry() *Registry { return &Registry{metrics: map[string]metric{}} }
+
+// Default is the process-wide registry all engine subsystems register
+// into; the debug HTTP server serves it.
+var Default = NewRegistry()
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := m.metricName()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.metrics[name] = m
+}
+
+// NewCounter registers and returns a counter. Panics on duplicate name.
+func (r *Registry) NewCounter(name, desc string) *Counter {
+	c := &Counter{name: name, desc: desc}
+	r.register(c)
+	return c
+}
+
+// NewGauge registers and returns a gauge. Panics on duplicate name.
+func (r *Registry) NewGauge(name, desc string) *Gauge {
+	g := &Gauge{name: name, desc: desc}
+	r.register(g)
+	return g
+}
+
+// NewHistogram registers and returns a histogram with the given
+// ascending bucket upper bounds (an implicit +Inf bucket is appended).
+// Panics on duplicate name or unsorted bounds.
+func (r *Registry) NewHistogram(name, desc string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		desc:   desc,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.register(h)
+	return h
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, desc string) *Counter { return Default.NewCounter(name, desc) }
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, desc string) *Gauge { return Default.NewGauge(name, desc) }
+
+// NewHistogram registers a histogram in the Default registry.
+func NewHistogram(name, desc string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, desc, bounds)
+}
+
+// Bucket is one cumulative histogram bucket of a snapshot.
+type Bucket struct {
+	UpperBound float64 `json:"le"` // +Inf encoded as math.Inf(1); JSON renders the last bucket's bound via Count only
+	Count      int64   `json:"count"`
+}
+
+// MarshalJSON encodes +Inf as the string "+Inf" (JSON has no Inf
+// literal).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = fmt.Sprintf("%g", b.UpperBound)
+	}
+	return fmt.Appendf(nil, `{"le":%q,"count":%d}`, le, b.Count), nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, so snapshots embedded in
+// report exports survive a JSON round trip.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if raw.LE == "+Inf" {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	v, err := strconv.ParseFloat(raw.LE, 64)
+	if err != nil {
+		return err
+	}
+	b.UpperBound = v
+	return nil
+}
+
+// Metric is the point-in-time value of one registered metric.
+type Metric struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"` // "counter", "gauge", or "histogram"
+	Desc    string   `json:"desc,omitempty"`
+	Value   float64  `json:"value"`             // counter/gauge value; histogram count
+	Sum     float64  `json:"sum,omitempty"`     // histogram only
+	Buckets []Bucket `json:"buckets,omitempty"` // histogram only, cumulative
+}
+
+func (c *Counter) snapshot() Metric {
+	return Metric{Name: c.name, Kind: "counter", Desc: c.desc, Value: float64(c.v.Load())}
+}
+
+func (g *Gauge) snapshot() Metric {
+	return Metric{Name: g.name, Kind: "gauge", Desc: g.desc, Value: g.Value()}
+}
+
+func (h *Histogram) snapshot() Metric {
+	m := Metric{Name: h.name, Kind: "histogram", Desc: h.desc, Sum: h.Sum()}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		m.Buckets = append(m.Buckets, Bucket{UpperBound: ub, Count: cum})
+	}
+	m.Value = float64(cum)
+	return m
+}
+
+// Snapshot returns the current value of every registered metric, sorted
+// by name — the embedding the report package attaches to its exports.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	ms := make([]metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	out := make([]Metric, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, m.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Find returns the snapshot of the named metric, if registered.
+func (r *Registry) Find(name string) (Metric, bool) {
+	r.mu.Lock()
+	m, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok {
+		return Metric{}, false
+	}
+	return m.snapshot(), true
+}

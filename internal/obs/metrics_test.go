@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	g := r.NewGauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.NewGauge("dup", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	m, ok := r.Find("h")
+	if !ok || m.Kind != "histogram" {
+		t.Fatalf("Find(h) = %+v, %v", m, ok)
+	}
+	// Cumulative: le=0.01 holds 2 (0.005 and the boundary-inclusive
+	// 0.01), le=0.1 holds 3, le=1 holds 4, +Inf holds all 5.
+	wantCum := []int64{2, 3, 4, 5}
+	for i, b := range m.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(m.Buckets[3].UpperBound, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", m.Buckets[3].UpperBound)
+	}
+}
+
+func TestHistogramUnsortedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds must panic")
+		}
+	}()
+	NewRegistry().NewHistogram("bad", "", []float64{1, 0.5})
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-3, 10, 4)
+	want := []float64{1e-3, 1e-2, 1e-1, 1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-15 {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestSnapshotSortedAndJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("z_total", "last").Add(7)
+	r.NewGauge("a_gauge", "first").Set(3)
+	h := r.NewHistogram("m_hist", "mid", []float64{1, 2})
+	h.Observe(1.5)
+
+	snap := r.Snapshot()
+	var names []string
+	for _, m := range snap {
+		names = append(names, m.Name)
+	}
+	if strings.Join(names, ",") != "a_gauge,m_hist,z_total" {
+		t.Fatalf("snapshot order %v", names)
+	}
+
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Metric
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if len(back) != 3 || back[2].Value != 7 {
+		t.Fatalf("round-trip snapshot %+v", back)
+	}
+	if hb := back[1].Buckets; len(hb) != 3 || !math.IsInf(hb[2].UpperBound, 1) || hb[2].Count != 1 {
+		t.Fatalf("round-trip histogram buckets %+v", back[1].Buckets)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("steps_total", "completed steps").Add(3)
+	r.NewGauge("scale", "loss scale").Set(1024)
+	h := r.NewHistogram("step_seconds", "step latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP steps_total completed steps",
+		"# TYPE steps_total counter",
+		"steps_total 3",
+		"# TYPE scale gauge",
+		"scale 1024",
+		"# TYPE step_seconds histogram",
+		`step_seconds_bucket{le="0.1"} 1`,
+		`step_seconds_bucket{le="1"} 1`,
+		`step_seconds_bucket{le="+Inf"} 2`,
+		"step_seconds_sum 2.05",
+		"step_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", []float64{10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+// TestMetricsZeroAlloc pins the hot-path contract: instrumented kernels
+// call these from inner dispatch loops, so one allocation here is a
+// regression (the overhead-guard satellite of the observability PR).
+func TestMetricsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", ExpBuckets(1e-4, 10, 8))
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(4.2); g.Add(1) }); n != 0 {
+		t.Errorf("Gauge.Set/Add allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.03) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per op", n)
+	}
+}

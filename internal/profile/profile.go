@@ -82,6 +82,7 @@ type Event struct {
 	Kernel   string // kernel name, e.g. "sgemm_nt" or "layernorm_fwd"
 	Category Category
 	Phase    Phase
+	Iter     int       // 1-based training iteration (0: outside any iteration)
 	Start    time.Time // wall-clock start (zero if recorded manually)
 	Duration time.Duration
 	FLOPs    int64 // floating-point operations performed
@@ -93,19 +94,48 @@ type Event struct {
 type Profiler struct {
 	mu     sync.Mutex
 	events []Event
+	iter   int
 }
 
 // New returns an empty profiler.
 func New() *Profiler { return &Profiler{} }
 
-// Record appends an event. Record on a nil profiler is a no-op.
+// Record appends an event, stamping it with the current iteration unless
+// the caller set Iter explicitly. Record on a nil profiler is a no-op.
 func (p *Profiler) Record(e Event) {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
+	if e.Iter == 0 {
+		e.Iter = p.iter
+	}
 	p.events = append(p.events, e)
 	p.mu.Unlock()
+}
+
+// BeginIteration marks the start of the next training iteration; events
+// recorded from now on carry its 1-based index, which WriteChromeTrace
+// uses to nest kernels under iteration spans. On a nil profiler it is a
+// no-op.
+func (p *Profiler) BeginIteration() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.iter++
+	p.mu.Unlock()
+}
+
+// Iteration returns the current 1-based iteration index (0 before the
+// first BeginIteration).
+func (p *Profiler) Iteration() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.iter
 }
 
 // Time runs f, measuring its wall-clock duration, and records an event with
@@ -128,13 +158,14 @@ func (p *Profiler) Time(kernel string, cat Category, phase Phase, flops, bytes i
 	})
 }
 
-// Reset discards all recorded events.
+// Reset discards all recorded events and rewinds the iteration counter.
 func (p *Profiler) Reset() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
 	p.events = p.events[:0]
+	p.iter = 0
 	p.mu.Unlock()
 }
 
@@ -191,12 +222,17 @@ type Summary struct {
 }
 
 // Summarize aggregates all recorded events.
-func (p *Profiler) Summarize() Summary {
+func (p *Profiler) Summarize() Summary { return Summarize(p.Events()) }
+
+// Summarize aggregates an arbitrary event slice — e.g. one training
+// step's suffix of a profiler's event log, which the per-step JSONL
+// emitter reports on.
+func Summarize(events []Event) Summary {
 	s := Summary{
 		ByCategory: make(map[Category]Stat),
 		ByPhase:    make(map[Phase]Stat),
 	}
-	for _, e := range p.Events() {
+	for _, e := range events {
 		s.Total.add(e)
 		cs := s.ByCategory[e.Category]
 		cs.add(e)

@@ -21,15 +21,38 @@ type chromeTraceEvent struct {
 	Args     map[string]string `json:"args,omitempty"`
 }
 
+// span is the envelope of a group of laid-out events.
+type span struct {
+	start, end float64
+	present    bool
+}
+
+func (s *span) cover(ts, dur float64) {
+	if !s.present || ts < s.start {
+		s.start = ts
+	}
+	if !s.present || ts+dur > s.end {
+		s.end = ts + dur
+	}
+	s.present = true
+}
+
 // WriteChromeTrace exports the recorded events as a Chrome trace-event
-// JSON array, loadable in chrome://tracing or Perfetto. Each training
-// phase renders as its own track (tid); kernel FLOPs and bytes appear as
-// event args. Events recorded without a start timestamp are laid out
-// back-to-back.
+// JSON array, loadable in chrome://tracing or Perfetto. Events nest
+// three deep on one track, the paper's Fig. 3 hierarchy: an enclosing
+// span per training iteration (see Profiler.BeginIteration), a span per
+// training phase within it (FWD/BWD/UPD), and the kernel slices inside;
+// kernel FLOPs and bytes appear as event args.
+//
+// Events recorded without a start timestamp are laid out back-to-back
+// after the end of the last timestamped event, so synthetic slices never
+// overlap the real timeline.
 func (p *Profiler) WriteChromeTrace(w io.Writer) error {
 	events := p.Events()
-	out := make([]chromeTraceEvent, 0, len(events))
 
+	// Lay every event out on the common microsecond timeline: real
+	// timestamps are relative to the earliest one; synthetic events run
+	// back-to-back from the end of the real timeline.
 	var origin time.Time
 	for _, e := range events {
 		if !e.Start.IsZero() {
@@ -38,27 +61,82 @@ func (p *Profiler) WriteChromeTrace(w io.Writer) error {
 			}
 		}
 	}
-	var synthetic time.Duration
-	for _, e := range events {
-		var ts float64
+	ts := make([]float64, len(events))
+	var realEnd float64
+	for i, e := range events {
 		if e.Start.IsZero() {
-			ts = float64(synthetic.Microseconds())
-			synthetic += e.Duration
-		} else {
-			ts = float64(e.Start.Sub(origin).Microseconds())
+			continue
 		}
+		ts[i] = float64(e.Start.Sub(origin).Microseconds())
+		if end := ts[i] + float64(e.Duration.Microseconds()); end > realEnd {
+			realEnd = end
+		}
+	}
+	synthetic := realEnd
+	for i, e := range events {
+		if !e.Start.IsZero() {
+			continue
+		}
+		ts[i] = synthetic
+		synthetic += float64(e.Duration.Microseconds())
+	}
+
+	// Envelope spans per iteration and per (iteration, phase). Iteration
+	// indices are small and dense (0 = outside any iteration, then 1..N).
+	maxIter := 0
+	for _, e := range events {
+		if e.Iter > maxIter {
+			maxIter = e.Iter
+		}
+	}
+	iterSpans := make([]span, maxIter+1)
+	phaseSpans := make([][3]span, maxIter+1)
+	for i, e := range events {
+		dur := float64(e.Duration.Microseconds())
+		iterSpans[e.Iter].cover(ts[i], dur)
+		if e.Phase >= Forward && e.Phase <= Update {
+			phaseSpans[e.Iter][e.Phase].cover(ts[i], dur)
+		}
+	}
+
+	out := make([]chromeTraceEvent, 0, len(events)+4*(maxIter+1))
+	for it, s := range iterSpans {
+		if !s.present {
+			continue
+		}
+		name := fmt.Sprintf("iteration %d", it)
+		if it == 0 {
+			name = "outside iterations"
+		}
+		out = append(out, chromeTraceEvent{
+			Name: name, Category: "iteration", Phase: "X",
+			TSMicros: s.start, DurMicro: s.end - s.start, PID: 1, TID: 1,
+		})
+		for ph, pspan := range phaseSpans[it] {
+			if !pspan.present {
+				continue
+			}
+			out = append(out, chromeTraceEvent{
+				Name: Phase(ph).String(), Category: "phase", Phase: "X",
+				TSMicros: pspan.start, DurMicro: pspan.end - pspan.start, PID: 1, TID: 1,
+				Args: map[string]string{"iteration": fmt.Sprint(it)},
+			})
+		}
+	}
+	for i, e := range events {
 		out = append(out, chromeTraceEvent{
 			Name:     e.Kernel,
 			Category: string(e.Category),
 			Phase:    "X",
-			TSMicros: ts,
+			TSMicros: ts[i],
 			DurMicro: float64(e.Duration.Microseconds()),
 			PID:      1,
-			TID:      int(e.Phase) + 1,
+			TID:      1,
 			Args: map[string]string{
-				"flops": fmt.Sprint(e.FLOPs),
-				"bytes": fmt.Sprint(e.Bytes),
-				"phase": e.Phase.String(),
+				"flops":     fmt.Sprint(e.FLOPs),
+				"bytes":     fmt.Sprint(e.Bytes),
+				"phase":     e.Phase.String(),
+				"iteration": fmt.Sprint(e.Iter),
 			},
 		})
 	}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 
+	"demystbert/internal/obs"
 	"demystbert/internal/perfmodel"
+	"demystbert/internal/profile"
 )
 
 // CategoryRow is one line of the machine-readable breakdown export.
@@ -29,6 +31,12 @@ type ResultExport struct {
 	GEMMShare  float64       `json:"gemm_share"`
 	LAMBShare  float64       `json:"lamb_share"`
 	Categories []CategoryRow `json:"categories"`
+
+	// Runtime embeds a snapshot of the live engine's metric registry
+	// (obs.Registry.Snapshot) so an exported breakdown carries the
+	// runtime counters — pack-cache hit rates, worker-pool dispatch
+	// stats, batched-GEMM routing — that produced it.
+	Runtime []obs.Metric `json:"runtime_metrics,omitempty"`
 }
 
 // Export converts a perfmodel result into its machine-readable form,
@@ -69,11 +77,59 @@ func Export(r *perfmodel.Result) ResultExport {
 	return out
 }
 
+// ExportWithRuntime is Export plus an embedded snapshot of the live
+// metric registry.
+func ExportWithRuntime(r *perfmodel.Result, runtime []obs.Metric) ResultExport {
+	e := Export(r)
+	e.Runtime = runtime
+	return e
+}
+
 // WriteJSON emits the export as indented JSON.
 func WriteJSON(w io.Writer, r *perfmodel.Result) error {
+	return WriteJSONExport(w, Export(r))
+}
+
+// WriteJSONExport emits an already-built export (e.g. one carrying a
+// runtime snapshot) as indented JSON.
+func WriteJSONExport(w io.Writer, e ResultExport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Export(r))
+	return enc.Encode(e)
+}
+
+// StepRecordFromResult converts a modeled characterization into the
+// per-step JSONL schema, so the analytical binaries emit the same stream
+// shape as the real-execution engine: wall time is the modeled iteration
+// time, achieved rates are the modeled per-category rates, and loss is
+// zero (an analytical model has none).
+func StepRecordFromResult(step int, r *perfmodel.Result) obs.StepRecord {
+	kernels := map[profile.Category]int{}
+	flops := map[profile.Category]int64{}
+	bytes := map[profile.Category]int64{}
+	for _, ot := range r.Ops {
+		kernels[ot.Op.Category] += ot.Op.Repeat
+		flops[ot.Op.Category] += ot.Op.TotalFLOPs()
+		bytes[ot.Op.Category] += ot.Op.TotalBytes()
+	}
+	peaks := r.Device.Peaks()
+	rec := obs.StepRecord{
+		Step:         step,
+		Tokens:       r.Graph.Workload.Tokens(),
+		WallMS:       1e3 * r.Total.Seconds(),
+		TokensPerSec: r.TokensPerSecond(),
+	}
+	times := r.ByCategory()
+	for _, c := range sortedCategories(times) {
+		st := profile.Stat{
+			Kernels:  kernels[c],
+			Duration: times[c],
+			FLOPs:    flops[c],
+			Bytes:    bytes[c],
+		}
+		rec.Categories = append(rec.Categories, obs.NewCategoryStep(c, st, peaks))
+	}
+	return rec
 }
 
 // WriteCSV emits the export as CSV with a header row.

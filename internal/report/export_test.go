@@ -1,0 +1,132 @@
+package report
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"demystbert/internal/device"
+	"demystbert/internal/obs"
+	"demystbert/internal/profile"
+)
+
+// sampleSnapshot builds an isolated registry with all three metric
+// kinds populated, standing in for the live Default registry.
+func sampleSnapshot() []obs.Metric {
+	r := obs.NewRegistry()
+	r.NewCounter("kernels_pack_cache_hits_total", "pack cache hits").Add(120)
+	r.NewCounter("kernels_pack_cache_misses_total", "pack cache misses").Add(8)
+	r.NewGauge("loss_scale", "current loss scale").Set(2048)
+	h := r.NewHistogram("ddp_step_wall_seconds", "step wall", obs.ExpBuckets(1e-3, 10, 4))
+	h.Observe(0.02)
+	h.Observe(0.7)
+	return r.Snapshot()
+}
+
+// TestExportWithRuntimeRoundTrip covers the obs.Snapshot embedding:
+// an export carrying runtime metrics must survive a JSON round trip
+// with counters, gauges, and histogram buckets intact.
+func TestExportWithRuntimeRoundTrip(t *testing.T) {
+	r := runOn(opgraphPh1(), device.MI100())
+	e := ExportWithRuntime(r, sampleSnapshot())
+	if len(e.Runtime) != 4 {
+		t.Fatalf("runtime snapshot has %d metrics, want 4", len(e.Runtime))
+	}
+
+	var sb strings.Builder
+	if err := WriteJSONExport(&sb, e); err != nil {
+		t.Fatal(err)
+	}
+	var back ResultExport
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("export with runtime metrics is not valid JSON: %v", err)
+	}
+	if back.Workload != e.Workload || len(back.Categories) != len(e.Categories) {
+		t.Fatalf("breakdown fields lost: %+v", back)
+	}
+	byName := map[string]obs.Metric{}
+	for _, m := range back.Runtime {
+		byName[m.Name] = m
+	}
+	if m := byName["kernels_pack_cache_hits_total"]; m.Kind != "counter" || m.Value != 120 {
+		t.Fatalf("counter did not round-trip: %+v", m)
+	}
+	if m := byName["loss_scale"]; m.Kind != "gauge" || m.Value != 2048 {
+		t.Fatalf("gauge did not round-trip: %+v", m)
+	}
+	h := byName["ddp_step_wall_seconds"]
+	if h.Kind != "histogram" || h.Value != 2 || len(h.Buckets) != 5 {
+		t.Fatalf("histogram did not round-trip: %+v", h)
+	}
+	if !math.IsInf(h.Buckets[4].UpperBound, 1) || h.Buckets[4].Count != 2 {
+		t.Fatalf("+Inf bucket did not round-trip: %+v", h.Buckets)
+	}
+}
+
+// TestExportWithoutRuntimeOmitsField keeps plain exports byte-stable:
+// no runtime_metrics key unless a snapshot was attached.
+func TestExportWithoutRuntimeOmitsField(t *testing.T) {
+	r := runOn(opgraphPh1(), device.MI100())
+	var sb strings.Builder
+	if err := WriteJSON(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "runtime_metrics") {
+		t.Fatal("plain export must omit runtime_metrics")
+	}
+}
+
+// TestStepRecordFromResult checks the modeled-step JSONL conversion the
+// analytical binaries emit: totals and achieved rates must agree with
+// the underlying characterization.
+func TestStepRecordFromResult(t *testing.T) {
+	r := runOn(opgraphPh1(), device.MI100())
+	rec := StepRecordFromResult(5, r)
+	if rec.Step != 5 || rec.Loss != 0 {
+		t.Fatalf("header %+v", rec)
+	}
+	if want := 1e3 * r.Total.Seconds(); math.Abs(rec.WallMS-want) > 1e-9 {
+		t.Fatalf("wall %v ms, want %v", rec.WallMS, want)
+	}
+	if math.Abs(rec.TokensPerSec-r.TokensPerSecond()) > 1e-9 {
+		t.Fatalf("tokens/s %v, want %v", rec.TokensPerSec, r.TokensPerSecond())
+	}
+	if rec.Tokens != r.Graph.Workload.Tokens() {
+		t.Fatalf("tokens %d, want %d", rec.Tokens, r.Graph.Workload.Tokens())
+	}
+	times := r.ByCategory()
+	if len(rec.Categories) != len(times) {
+		t.Fatalf("%d categories, want %d", len(rec.Categories), len(times))
+	}
+	var sumMS float64
+	for _, c := range rec.Categories {
+		sumMS += c.TimeMS
+		if c.Kernels <= 0 {
+			t.Fatalf("category %s has no kernels", c.Category)
+		}
+		if c.TimeMS > 0 && c.GFLOPs > 0 && c.AchievedGFLOPS <= 0 {
+			t.Fatalf("category %s missing achieved GFLOP/s: %+v", c.Category, c)
+		}
+		if c.TimeMS > 0 && c.GBytes > 0 && c.AchievedGBs <= 0 {
+			t.Fatalf("category %s missing achieved GB/s: %+v", c.Category, c)
+		}
+		if c.PeakMemFrac > 1+1e-9 {
+			t.Fatalf("category %s above memory peak: %+v", c.Category, c)
+		}
+	}
+	if math.Abs(sumMS-rec.WallMS) > 1e-6*rec.WallMS {
+		t.Fatalf("category times sum to %v ms, total %v ms", sumMS, rec.WallMS)
+	}
+	// GEMM categories compare against the matrix peak, non-GEMM against
+	// the vector peak — spot-check one of each exists with a sane frac.
+	var sawGEMM bool
+	for _, c := range rec.Categories {
+		if profile.Category(c.Category).IsGEMM() && c.PeakFLOPFrac > 0 {
+			sawGEMM = true
+		}
+	}
+	if !sawGEMM {
+		t.Fatal("no GEMM category with a peak fraction")
+	}
+}

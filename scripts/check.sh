@@ -12,14 +12,19 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (kernels, tensor)"
-go test -race ./internal/kernels/ ./internal/tensor/
+echo "== go test -race (kernels, tensor, obs, profile)"
+go test -race ./internal/kernels/ ./internal/tensor/ ./internal/obs/ ./internal/profile/
 
 echo "== go test ./..."
 go test ./...
 
-echo "== alloc guard (GEMM/GEMMPacked/BatchedGEMM zero steady-state allocs)"
+echo "== alloc guard (GEMM + metrics hot paths + nil profiler, zero allocs)"
 go test -run 'TestGEMMZeroAllocSteadyState' -count=1 ./internal/kernels/
+go test -run 'TestMetricsZeroAlloc' -count=1 ./internal/obs/
+go test -run 'TestNilProfilerZeroAlloc' -count=1 ./internal/profile/
+
+echo "== debug server smoke (/metrics, /debug/vars, /debug/pprof/)"
+go test -run 'TestDebugServerSmoke' -count=1 ./internal/obs/
 
 echo "== bench smoke (GEMM paper shapes, 1 iteration)"
 go test -run 'xxx' -bench 'Fig6GEMMIntensity|GEMMPaperSizes' -benchtime 1x -benchmem . >/dev/null
