@@ -10,6 +10,7 @@
 //	         [-compute X] [-bandwidth X]
 //	bertchar -export json|csv [-phase 1|2] [-b N] [-mp]
 //	bertchar -steps N [-metrics-jsonl FILE] [-debug-addr HOST:PORT]
+//	bertchar -audit [-audit-full]
 //
 // The -compute and -bandwidth flags scale the device model to project
 // hypothetical accelerator improvements (Section 5.1); -export emits one
@@ -22,6 +23,13 @@
 // roofline) to -metrics-jsonl, while -debug-addr serves the runtime
 // counters (pack-cache hit rate, worker-pool dispatch/steal counts,
 // batched-GEMM routing) as Prometheus text plus expvar and pprof.
+//
+// -audit runs the cross-path numerics audit (internal/audit): every
+// module and training step, forward+backward, through the cross product
+// of GEMM path × worker count × mixed precision × checkpointing × fusion,
+// differenced against the naive/serial oracle, plus gradient checks and
+// fixed-seed determinism pins. Exits non-zero on any divergence.
+// -audit-full runs the full matrix instead of the reduced sweep.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"demystbert"
+	"demystbert/internal/audit"
 	"demystbert/internal/data"
 	"demystbert/internal/model"
 	"demystbert/internal/nn"
@@ -60,11 +69,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	steps := fs.Int("steps", 0, "run this many reduced-scale real training steps with live telemetry (defaults to 3 when -metrics-jsonl is set)")
 	metricsPath := fs.String("metrics-jsonl", "", "write one JSON telemetry record per live step to this path")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+	auditRun := fs.Bool("audit", false, "run the cross-path numerics audit and exit (non-zero on divergence)")
+	auditFull := fs.Bool("audit-full", false, "with -audit, run the full mode matrix instead of the reduced sweep")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *steps == 0 && *metricsPath != "" {
 		*steps = 3
+	}
+
+	if *auditRun {
+		divs := audit.RunSweep(stdout, !*auditFull)
+		if len(divs) > 0 {
+			fmt.Fprintf(stderr, "bertchar: audit found %d divergences\n", len(divs))
+			return 1
+		}
+		fmt.Fprintln(stdout, "audit: all execution paths agree")
+		return 0
 	}
 
 	if *debugAddr != "" {

@@ -1,0 +1,139 @@
+package audit
+
+import (
+	"runtime"
+	"testing"
+
+	"demystbert/internal/kernels"
+)
+
+// TestModeMatrix differential-tests every subject through the execution-
+// mode cross product against its naive/serial oracle. `-short` (used by
+// the race leg of scripts/check.sh) runs the reduced matrix.
+func TestModeMatrix(t *testing.T) {
+	for _, s := range Subjects() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, d := range RunModes(s, Modes(s, testing.Short())) {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
+// TestGradCheck compares analytic gradients against central differences
+// on sampled coordinates, once per GEMM path.
+func TestGradCheck(t *testing.T) {
+	for _, s := range Subjects() {
+		if s.GradCheck == nil {
+			continue
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			modes := GradModes(s)
+			if testing.Short() {
+				modes = modes[:1]
+			}
+			for _, m := range modes {
+				for _, d := range s.GradCheck(m) {
+					t.Errorf("%s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism pins fixed-seed reproducibility: identical seed and
+// worker count must give bitwise-identical results — 3-step LAMB loss
+// trajectories and final parameters for the step subjects, whole
+// forward+backward traces for the module subjects.
+func TestDeterminism(t *testing.T) {
+	for _, s := range Subjects() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, m := range DeterminismModes(testing.Short()) {
+				for _, d := range CheckDeterminism(s, m) {
+					t.Errorf("%s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathEquivalence pins the bitwise agreement of the fast paths
+// among themselves: packed ≡ blocked (pre-packed panels are byte-identical
+// to per-call packing) and batched ≡ blocked (the flattened engine runs
+// the same per-matrix schedule).
+func TestFastPathEquivalence(t *testing.T) {
+	workers := []int{1, runtime.GOMAXPROCS(0)}
+	if testing.Short() {
+		workers = workers[:1]
+	}
+	for _, s := range Subjects() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, w := range workers {
+				for _, d := range CheckFastPathEquivalence(s, w) {
+					t.Errorf("%s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyticModels pins reproducibility of the analytical side
+// (opgraph builder, fusion studies).
+func TestAnalyticModels(t *testing.T) {
+	for _, d := range CheckAnalyticModels() {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestMatrixDimensions asserts the harness really enumerates ≥4 mode
+// dimensions for the richest subject, so a refactor can't silently
+// collapse the matrix.
+func TestMatrixDimensions(t *testing.T) {
+	var bert *Subject
+	for _, s := range Subjects() {
+		if s.Name == "bert.step" {
+			bert = s
+		}
+	}
+	if bert == nil {
+		t.Fatal("bert.step subject missing")
+	}
+	ms := Modes(bert, false)
+	paths := map[kernels.GEMMPath]bool{}
+	workers := map[int]bool{}
+	var mp, ckpt, fused bool
+	for _, m := range ms {
+		paths[m.Path] = true
+		workers[m.Workers] = true
+		mp = mp || m.MP
+		ckpt = ckpt || m.Ckpt
+		fused = fused || m.Fused
+	}
+	if len(paths) != 4 {
+		t.Errorf("GEMM paths enumerated: %d, want 4", len(paths))
+	}
+	if wantW := len(dedupInts([]int{1, 2, runtime.GOMAXPROCS(0)})); len(workers) != wantW {
+		t.Errorf("worker widths enumerated: %d, want %d", len(workers), wantW)
+	}
+	if !mp || !ckpt || !fused {
+		t.Errorf("dimension missing from matrix: mp=%v ckpt=%v fused=%v", mp, ckpt, fused)
+	}
+}
+
+// TestOracleDefinition pins the oracle construction: naive path, one
+// worker, matching MP, everything else off.
+func TestOracleDefinition(t *testing.T) {
+	m := Mode{Path: kernels.GEMMPathBatched, Workers: 7, MP: true, Ckpt: true, Fused: true}
+	o := m.Oracle()
+	want := Mode{Path: kernels.GEMMPathNaive, Workers: 1, MP: true}
+	if o != want {
+		t.Fatalf("oracle of %v = %v, want %v", m, o, want)
+	}
+	if !o.Oracle().IsOracle() {
+		t.Fatal("oracle must be its own oracle")
+	}
+}

@@ -1,0 +1,71 @@
+package audit
+
+import (
+	"math"
+	"testing"
+
+	"demystbert/internal/kernels"
+)
+
+// probeDiff measures the worst relative difference between two modes of a
+// subject — development instrumentation for grounding the tolerance table
+// in DESIGN.md §10, and a canary that the harness is not passing because
+// everything is accidentally bitwise.
+func probeDiff(t *testing.T, s *Subject, a, b Mode) (maxRel float64, bitwise bool) {
+	t.Helper()
+	restore := a.apply()
+	ta := s.Run(a)
+	restore()
+	restore = b.apply()
+	tb := s.Run(b)
+	restore()
+	bitwise = true
+	for name, va := range ta.Tensors {
+		vb := tb.Tensors[name]
+		for i := range va {
+			if math.Float32bits(va[i]) != math.Float32bits(vb[i]) {
+				bitwise = false
+			}
+			d := math.Abs(float64(va[i]) - float64(vb[i]))
+			den := math.Max(math.Abs(float64(va[i])), math.Abs(float64(vb[i])))
+			if den > 1e-12 && d/den > maxRel {
+				maxRel = d / den
+			}
+		}
+	}
+	return maxRel, bitwise
+}
+
+func TestProbePathDeltas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instrumentation probe")
+	}
+	naive := Mode{Path: kernels.GEMMPathNaive, Workers: 1}
+	for _, s := range Subjects() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, m := range []Mode{
+				{Path: kernels.GEMMPathNaive, Workers: 4},
+				{Path: kernels.GEMMPathBlocked, Workers: 1},
+				{Path: kernels.GEMMPathPacked, Workers: 1},
+				{Path: kernels.GEMMPathBatched, Workers: 4},
+			} {
+				rel, bw := probeDiff(t, s, m, naive)
+				t.Logf("%-40s vs oracle: maxRel=%.3g bitwise=%v", m, rel, bw)
+			}
+			// Packed-vs-blocked bitwise claim from the pre-packed GEMM
+			// design: same panel geometry, same micro-kernel schedule.
+			rel, bw := probeDiff(t, s,
+				Mode{Path: kernels.GEMMPathPacked, Workers: 2},
+				Mode{Path: kernels.GEMMPathBlocked, Workers: 2})
+			t.Logf("%-40s packed vs blocked: maxRel=%.3g bitwise=%v", s.Name, rel, bw)
+			if s.HasAttention {
+				base := Mode{Path: kernels.GEMMPathBatched, Workers: 2}
+				fused := base
+				fused.Fused = true
+				rel, bw = probeDiff(t, s, fused, base)
+				t.Logf("%-40s fused vs unfused: maxRel=%.3g bitwise=%v", s.Name, rel, bw)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunSweep runs the whole audit — oracle differencing over the mode
+// matrix, gradchecks, determinism pins, analytic-model pins — for every
+// subject, streaming a summary to w. It returns the divergences found
+// (empty means the engine's execution paths all agree). quick runs the
+// reduced matrix (same one `go test -short` uses).
+func RunSweep(w io.Writer, quick bool) []Divergence {
+	var all []Divergence
+	for _, s := range Subjects() {
+		ms := Modes(s, quick)
+		divs := RunModes(s, ms)
+		grads := 0
+		if s.GradCheck != nil {
+			for _, gm := range GradModes(s) {
+				divs = append(divs, s.GradCheck(gm)...)
+				grads++
+			}
+		}
+		det := 0
+		for _, dm := range DeterminismModes(quick) {
+			divs = append(divs, CheckDeterminism(s, dm)...)
+			det++
+		}
+		divs = append(divs, CheckFastPathEquivalence(s, 1)...)
+		status := "ok"
+		if len(divs) > 0 {
+			status = fmt.Sprintf("%d DIVERGENCES", len(divs))
+		}
+		fmt.Fprintf(w, "audit %-14s modes=%-3d gradcheck=%d determinism=%d  %s\n",
+			s.Name, len(ms), grads, det, status)
+		for _, d := range divs {
+			fmt.Fprintf(w, "  DIVERGENCE %s\n", d)
+		}
+		all = append(all, divs...)
+	}
+	divs := CheckAnalyticModels()
+	status := "ok"
+	if len(divs) > 0 {
+		status = fmt.Sprintf("%d DIVERGENCES", len(divs))
+	}
+	fmt.Fprintf(w, "audit %-14s opgraph+fusion reproducibility  %s\n", "analytic", status)
+	for _, d := range divs {
+		fmt.Fprintf(w, "  DIVERGENCE %s\n", d)
+	}
+	all = append(all, divs...)
+	return all
+}

@@ -10,9 +10,23 @@ import (
 // 1/(1-p) with probability 1-p and 0 with probability p. Scaling at train
 // time keeps activation magnitudes unchanged so inference needs no
 // rescale.
+//
+// Stream-stability contract: p == 0 produces the identity mask WITHOUT
+// consuming the RNG stream. The number of draws a training step consumes
+// must not depend on rates that are exactly zero, so enabling a zero-rate
+// dropout layer cannot shift downstream random state — seed-for-seed
+// comparisons against a no-dropout model (and the audit harness's
+// fixed-seed determinism pins) rely on this. For p > 0 the kernel consumes
+// exactly len(mask) draws, sequentially.
 func DropoutMask(mask []float32, p float32, rng *tensor.RNG) {
 	if p < 0 || p >= 1 {
 		panic(fmt.Sprintf("kernels: dropout probability %v outside [0,1)", p))
+	}
+	if p == 0 {
+		for i := range mask {
+			mask[i] = 1
+		}
+		return
 	}
 	keep := 1 / (1 - p)
 	// Mask generation is sequential: the RNG stream must be deterministic

@@ -31,11 +31,18 @@ func GEMM(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 	if k == 0 || alpha == 0 {
 		return
 	}
-	if 2*m*n*k < smallGEMMFlops {
-		gemmNaiveSerial(transA, transB, m, n, k, alpha, a, b, c)
-		return
+	switch CurrentGEMMPath() {
+	case GEMMPathNaive:
+		gemmNaivePar(transA, transB, m, n, k, alpha, a, b, c)
+	case GEMMPathBlocked, GEMMPathPacked, GEMMPathBatched:
+		gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, true)
+	default:
+		if 2*m*n*k < smallGEMMFlops {
+			gemmNaiveSerial(transA, transB, m, n, k, alpha, a, b, c)
+			return
+		}
+		gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, true)
 	}
-	gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, true)
 }
 
 // GEMMNaive is the unblocked row-saxpy/dot implementation GEMM used before
@@ -51,6 +58,15 @@ func GEMMNaive(transA, transB bool, m, n, k int, alpha float32, a, b []float32, 
 	if k == 0 || alpha == 0 {
 		return
 	}
+	gemmNaivePar(transA, transB, m, n, k, alpha, a, b, c)
+}
+
+// gemmNaivePar accumulates C += alpha·op(A)·op(B) with the unblocked
+// loops, row-parallel on the worker pool (beta already applied by the
+// caller). Each output element is computed by exactly one worker with the
+// same inner-loop order regardless of the partition, so results are
+// bitwise identical for any worker count.
+func gemmNaivePar(transA, transB bool, m, n, k int, alpha float32, a, b, c []float32) {
 	switch {
 	case !transA && !transB:
 		gemmNN(m, n, k, alpha, a, b, c)
@@ -220,6 +236,18 @@ func BatchedGEMM(batch int, transA, transB bool, m, n, k int, alpha float32, a [
 		batchedPerMatrix(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
 		return
 	}
+	switch CurrentGEMMPath() {
+	case GEMMPathNaive, GEMMPathBlocked, GEMMPathPacked:
+		// Forced sub-batched path: run per-matrix; gemmSerial routes each
+		// matrix product to the forced implementation.
+		batchedPerMatrixRuns.Inc()
+		batchedPerMatrix(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
+		return
+	case GEMMPathBatched:
+		batchedBlockedRuns.Inc()
+		batchedBlocked(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
+		return
+	}
 	// The flattened engine wins by (a) running sub-threshold matrices
 	// through the micro-kernel instead of the scalar naive path and
 	// (b) exposing batch x tile parallelism to the pool. With a serial
@@ -333,11 +361,18 @@ func gemmSerial(transA, transB bool, m, n, k int, alpha float32, a, b []float32,
 	if k == 0 || alpha == 0 {
 		return
 	}
-	if 2*m*n*k < smallGEMMFlops {
+	switch CurrentGEMMPath() {
+	case GEMMPathNaive:
 		gemmNaiveSerial(transA, transB, m, n, k, alpha, a, b, c)
-		return
+	case GEMMPathBlocked, GEMMPathPacked, GEMMPathBatched:
+		gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, false)
+	default:
+		if 2*m*n*k < smallGEMMFlops {
+			gemmNaiveSerial(transA, transB, m, n, k, alpha, a, b, c)
+			return
+		}
+		gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, false)
 	}
-	gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, false)
 }
 
 // gemmNaiveSerial accumulates C += alpha·op(A)·op(B) with the unblocked

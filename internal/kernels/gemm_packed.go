@@ -96,13 +96,25 @@ func GEMMPacked(transA bool, m, n, k int, alpha float32, a []float32, pb *Packed
 	if k == 0 || alpha == 0 {
 		return
 	}
-	if 2*m*n*k < smallGEMMFlops {
-		// Same dispatch as GEMM: packing never paid for itself down here,
-		// so the pack keeps the raw operand around for the naive path.
-		gemmNaiveSerial(transA, pb.transB, m, n, k, alpha, a, pb.src, c)
-		return
+	switch CurrentGEMMPath() {
+	case GEMMPathNaive:
+		gemmNaivePar(transA, pb.transB, m, n, k, alpha, a, pb.src, c)
+	case GEMMPathBlocked:
+		// Forced blocked-without-prepack: ignore the cached panels and
+		// pack the raw operand per call, like GEMM does.
+		gemmBlocked(transA, pb.transB, m, n, k, alpha, a, pb.src, c, true)
+	case GEMMPathPacked, GEMMPathBatched:
+		gemmPackedBlocked(transA, m, n, k, alpha, a, pb, c)
+	default:
+		if 2*m*n*k < smallGEMMFlops {
+			// Same dispatch as GEMM: packing never paid for itself down
+			// here, so the pack keeps the raw operand around for the
+			// naive path.
+			gemmNaiveSerial(transA, pb.transB, m, n, k, alpha, a, pb.src, c)
+			return
+		}
+		gemmPackedBlocked(transA, m, n, k, alpha, a, pb, c)
 	}
-	gemmPackedBlocked(transA, m, n, k, alpha, a, pb, c)
 }
 
 // gemmPackedBlocked is gemmBlocked with the packB pass deleted: only A is

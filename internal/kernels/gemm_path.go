@@ -1,0 +1,67 @@
+package kernels
+
+import "sync/atomic"
+
+// GEMMPath selects which implementation the GEMM entry points route to.
+//
+// Production runs leave the path on GEMMPathAuto, where routing is decided
+// per call by product size and operand packing (small products take the
+// naive loops, large ones the cache-blocked engine, pre-packed weights the
+// packed engine, batches the flattened batched engine). The audit harness
+// (internal/audit) forces one path for a whole forward+backward pass so
+// every semantically-equivalent implementation can be differential-tested
+// against the naive/serial oracle at model scale — including shapes the
+// size heuristics would normally never send to a given path (edge tiles,
+// k < NR, single-row stripes).
+type GEMMPath int32
+
+const (
+	// GEMMPathAuto is the production default: size- and operand-based
+	// routing, exactly as before path forcing existed.
+	GEMMPathAuto GEMMPath = iota
+	// GEMMPathNaive forces the unblocked row-saxpy/dot reference loops
+	// everywhere (the oracle implementation).
+	GEMMPathNaive
+	// GEMMPathBlocked forces the cache-blocked packed engine with
+	// per-call operand packing; pre-packed weights are ignored and
+	// batches run per-matrix.
+	GEMMPathBlocked
+	// GEMMPathPacked is GEMMPathBlocked plus pre-packed weight reuse on
+	// GEMMPacked calls; batches still run per-matrix.
+	GEMMPathPacked
+	// GEMMPathBatched is GEMMPathPacked plus the flattened batched
+	// blocked engine for BatchedGEMM (the full fast-path stack).
+	GEMMPathBatched
+)
+
+// String names the path for mode tables and audit reports.
+func (p GEMMPath) String() string {
+	switch p {
+	case GEMMPathAuto:
+		return "auto"
+	case GEMMPathNaive:
+		return "naive"
+	case GEMMPathBlocked:
+		return "blocked"
+	case GEMMPathPacked:
+		return "packed"
+	case GEMMPathBatched:
+		return "batched"
+	}
+	return "invalid"
+}
+
+// gemmPath is the active path override; reads are a single atomic load on
+// the GEMM hot paths (same cost class as the maxWorkers load they already
+// do).
+var gemmPath atomic.Int32
+
+// SetGEMMPath installs a path override and returns the previous one.
+// Like SetMaxWorkers it is safe for concurrent use, but callers that force
+// a path mid-run get whichever routing each in-flight call observed.
+func SetGEMMPath(p GEMMPath) GEMMPath {
+	return GEMMPath(gemmPath.Swap(int32(p)))
+}
+
+// CurrentGEMMPath returns the active path override.
+func CurrentGEMMPath() GEMMPath { return GEMMPath(gemmPath.Load()) }

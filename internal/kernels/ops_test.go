@@ -384,6 +384,30 @@ func TestDropoutZeroProbability(t *testing.T) {
 	}
 }
 
+func TestDropoutZeroProbabilityPreservesStream(t *testing.T) {
+	// Stream-stability contract: p == 0 must not consume the RNG, so a
+	// zero-rate dropout layer leaves downstream random state untouched
+	// and seed-for-seed comparisons against a no-dropout model hold.
+	rng := tensor.NewRNG(7)
+	DropoutMask(make([]float32, 1024), 0, rng)
+	want := tensor.NewRNG(7)
+	for i := 0; i < 8; i++ {
+		if got, w := rng.Float32(), want.Float32(); got != w {
+			t.Fatalf("draw %d after p=0 mask: %v, want %v (stream was consumed)", i, got, w)
+		}
+	}
+	// And p > 0 consumes exactly len(mask) draws, sequentially.
+	rng = tensor.NewRNG(7)
+	DropoutMask(make([]float32, 100), 0.5, rng)
+	want = tensor.NewRNG(7)
+	for i := 0; i < 100; i++ {
+		want.Float32()
+	}
+	if got, w := rng.Float32(), want.Float32(); got != w {
+		t.Fatalf("p>0 mask consumed a draw count != len(mask): next draw %v, want %v", got, w)
+	}
+}
+
 func TestDropoutBadProbabilityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

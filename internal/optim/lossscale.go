@@ -20,11 +20,19 @@ type DynamicLossScaler struct {
 	GrowthFactor   float32
 	BackoffFactor  float32
 	GrowthInterval int
+	// MaxScale caps growth (apex caps at 2^24). Unbounded doubling
+	// eventually reaches +Inf, after which UnscaleAndCheck multiplies
+	// every gradient by 1/Inf = 0 and silently freezes training. Zero
+	// means the default cap, so zero-value scalers are still capped.
+	MaxScale float32
 
 	goodSteps int
 	// Skipped counts steps rejected because of non-finite gradients.
 	Skipped int
 }
+
+// DefaultMaxLossScale is the growth cap applied when MaxScale is unset.
+const DefaultMaxLossScale = 1 << 24
 
 // NewDynamicLossScaler returns a scaler with apex-like defaults.
 func NewDynamicLossScaler() *DynamicLossScaler {
@@ -33,6 +41,7 @@ func NewDynamicLossScaler() *DynamicLossScaler {
 		GrowthFactor:   2,
 		BackoffFactor:  0.5,
 		GrowthInterval: 100,
+		MaxScale:       DefaultMaxLossScale,
 	}
 }
 
@@ -69,12 +78,27 @@ func (s *DynamicLossScaler) UnscaleAndCheck(params []*nn.Param) bool {
 		}
 		s.goodSteps = 0
 		s.Skipped++
+		lossScaleSkippedSteps.Inc()
+		lossScaleGauge.Set(float64(s.Scale))
 		return false
 	}
 	s.goodSteps++
 	if s.goodSteps >= s.GrowthInterval {
 		s.Scale *= s.GrowthFactor
+		if max := s.maxScale(); s.Scale > max {
+			s.Scale = max
+		}
 		s.goodSteps = 0
 	}
+	lossScaleGauge.Set(float64(s.Scale))
 	return true
+}
+
+// maxScale returns the effective growth cap, defaulting zero-value
+// scalers to DefaultMaxLossScale.
+func (s *DynamicLossScaler) maxScale() float32 {
+	if s.MaxScale > 0 {
+		return s.MaxScale
+	}
+	return DefaultMaxLossScale
 }

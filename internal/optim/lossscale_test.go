@@ -60,6 +60,54 @@ func TestLossScalerGrowsAfterCleanRun(t *testing.T) {
 	}
 }
 
+func TestLossScalerGrowthCapped(t *testing.T) {
+	s := NewDynamicLossScaler()
+	s.GrowthInterval = 1
+	p := nn.NewParam("w", 2)
+	// Far more clean steps than doublings to +Inf (2^15 → Inf in ~113
+	// doublings at float32); the cap must hold the scale at 2^24.
+	for i := 0; i < 200; i++ {
+		p.Grad.Fill(1)
+		if !s.UnscaleAndCheck([]*nn.Param{p}) {
+			t.Fatalf("clean step %d rejected", i)
+		}
+	}
+	if s.Scale != DefaultMaxLossScale {
+		t.Fatalf("scale after 200 clean steps = %v, want cap %v", s.Scale, float32(DefaultMaxLossScale))
+	}
+	if math.IsInf(float64(s.Scale), 0) {
+		t.Fatal("scale grew to +Inf")
+	}
+}
+
+func TestLossScalerZeroValueStillCapped(t *testing.T) {
+	// A hand-rolled scaler that never set MaxScale gets the default cap
+	// rather than unbounded growth.
+	s := &DynamicLossScaler{Scale: 1 << 23, GrowthFactor: 2, BackoffFactor: 0.5, GrowthInterval: 1}
+	p := nn.NewParam("w", 1)
+	for i := 0; i < 5; i++ {
+		p.Grad.Fill(1)
+		s.UnscaleAndCheck([]*nn.Param{p})
+	}
+	if s.Scale != DefaultMaxLossScale {
+		t.Fatalf("zero-value MaxScale: scale = %v, want %v", s.Scale, float32(DefaultMaxLossScale))
+	}
+}
+
+func TestLossScalerSkipCounter(t *testing.T) {
+	before := lossScaleSkippedSteps.Value()
+	s := NewDynamicLossScaler()
+	p := nn.NewParam("w", 1)
+	p.Grad.Data()[0] = float32(math.Inf(1))
+	s.UnscaleAndCheck([]*nn.Param{p})
+	if got := lossScaleSkippedSteps.Value() - before; got != 1 {
+		t.Fatalf("skip counter advanced by %d, want 1", got)
+	}
+	if lossScaleGauge.Value() != float64(s.Scale) {
+		t.Fatalf("scale gauge %v, want %v", lossScaleGauge.Value(), s.Scale)
+	}
+}
+
 func TestLossScalerFloorsAtOne(t *testing.T) {
 	s := NewDynamicLossScaler()
 	s.Scale = 1

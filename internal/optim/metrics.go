@@ -1,0 +1,14 @@
+package optim
+
+import "demystbert/internal/obs"
+
+// Loss-scaler observability: skipped steps are the signal that mixed
+// precision is fighting the dynamics (a healthy run skips a handful per
+// backoff, a sick one skips continuously), and the scale gauge makes the
+// grow/backoff sawtooth visible in telemetry.
+var (
+	lossScaleSkippedSteps = obs.NewCounter("optim_loss_scale_skipped_steps_total",
+		"optimizer steps skipped because unscaled gradients were non-finite")
+	lossScaleGauge = obs.NewGauge("optim_loss_scale",
+		"current dynamic loss scale")
+)

@@ -22,7 +22,10 @@ func ToF16(f float32) F16 {
 		return F16(sign)
 	case exp >= 0x1F: // overflow or inf/nan
 		if bits&0x7F800000 == 0x7F800000 && mant != 0 {
-			return F16(sign | 0x7E00) // NaN (quiet)
+			// NaN: keep the top 10 payload bits and force the quiet bit,
+			// so payloads survive the round trip and a signaling NaN whose
+			// high payload bits are zero cannot collapse into Inf.
+			return F16(sign | 0x7C00 | 0x0200 | uint16(mant>>13))
 		}
 		return F16(sign | 0x7C00) // Inf
 	case exp <= 0:

@@ -1,0 +1,160 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// Exhaustive binary16 conformance: every one of the 65536 half patterns is
+// checked against an independently-written reference, and the
+// round-to-nearest-even boundary is probed at the exact midpoint of every
+// adjacent pair of finite halfs (midpoints carry one extra significand bit
+// and are therefore exactly representable in float32, so the probes are
+// free of their own rounding error).
+
+// refDecodeF16 is a reference binary16 decoder built on math.Ldexp rather
+// than on bit surgery, so it shares no code path with F16.Float32.
+func refDecodeF16(h uint16) float64 {
+	sign := 1.0
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h >> 10 & 0x1F)
+	mant := int(h & 0x3FF)
+	switch exp {
+	case 0: // signed zero or subnormal: mant * 2^-24
+		return sign * math.Ldexp(float64(mant), -24)
+	case 0x1F:
+		if mant == 0 {
+			return sign * math.Inf(1)
+		}
+		return math.NaN()
+	default: // (1024+mant) * 2^(exp-25)
+		return sign * math.Ldexp(float64(1024+mant), exp-25)
+	}
+}
+
+func TestF16DecodeReferenceExhaustive(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		got := F16(h).Float32()
+		want := refDecodeF16(uint16(h))
+		if math.IsNaN(want) {
+			if !math.IsNaN(float64(got)) {
+				t.Fatalf("pattern %#04x: got %v, want NaN", h, got)
+			}
+			// NaN decode contract: payload widens into the float32
+			// mantissa top bits, sign preserved.
+			wantBits := uint32(h&0x8000)<<16 | 0x7F800000 | uint32(h&0x3FF)<<13
+			if bits := math.Float32bits(got); bits != wantBits {
+				t.Fatalf("pattern %#04x: NaN decode bits %#08x, want %#08x", h, bits, wantBits)
+			}
+			continue
+		}
+		// Bit-compare so ±0 are distinguished.
+		if math.Float32bits(got) != math.Float32bits(float32(want)) {
+			t.Fatalf("pattern %#04x: decode %v (%#08x), reference %v (%#08x)",
+				h, got, math.Float32bits(got), want, math.Float32bits(float32(want)))
+		}
+	}
+}
+
+func TestF16RoundTripExhaustive(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		back := ToF16(F16(h).Float32())
+		want := F16(h)
+		if h&0x7C00 == 0x7C00 && h&0x3FF != 0 {
+			// NaN contract: payload bits survive, the quiet bit is
+			// forced (a signaling half NaN comes back quieted, never
+			// collapsed to a canonical payload or to Inf).
+			want = F16(h) | 0x0200
+		}
+		if back != want {
+			t.Fatalf("pattern %#04x round-trips to %#04x, want %#04x", h, back, want)
+		}
+	}
+}
+
+// TestF16RoundToNearestEvenExhaustive walks every adjacent pair of finite
+// positive halfs (subnormals through 65504) and checks the three decisive
+// inputs around their midpoint: the exact midpoint must round to the
+// pattern with an even low bit, and the closest float32 on either side of
+// the midpoint must round toward its own neighbor.
+func TestF16RoundToNearestEvenExhaustive(t *testing.T) {
+	for h := uint16(0); h < 0x7BFF; h++ {
+		lo := F16(h).Float32()
+		hi := F16(h + 1).Float32()
+		mid := float32(refDecodeF16(h)+refDecodeF16(h+1)) / 2
+
+		even := F16(h)
+		if h&1 != 0 {
+			even = F16(h + 1)
+		}
+		if got := ToF16(mid); got != even {
+			t.Fatalf("midpoint of %#04x/%#04x (%v): rounds to %#04x, want even %#04x",
+				h, h+1, mid, got, even)
+		}
+		if below := math.Nextafter32(mid, lo); ToF16(below) != F16(h) {
+			t.Fatalf("just below midpoint of %#04x/%#04x (%v): rounds to %#04x, want %#04x",
+				h, h+1, below, ToF16(below), h)
+		}
+		if above := math.Nextafter32(mid, hi); ToF16(above) != F16(h+1) {
+			t.Fatalf("just above midpoint of %#04x/%#04x (%v): rounds to %#04x, want %#04x",
+				h, h+1, above, ToF16(above), h+1)
+		}
+	}
+	// Overflow boundary: the "midpoint" between 65504 (0x7BFF) and the
+	// first unrepresentable half step (65536) is 65520; IEEE RNE rounds
+	// it to infinity, and anything strictly below it back to 65504.
+	if got := ToF16(65520); got != 0x7C00 {
+		t.Fatalf("65520 rounds to %#04x, want +Inf", got)
+	}
+	if got := ToF16(math.Nextafter32(65520, 0)); got != 0x7BFF {
+		t.Fatalf("just below 65520 rounds to %#04x, want 0x7BFF", got)
+	}
+}
+
+// TestF16NegativeSymmetry pins sign symmetry: rounding must be
+// sign-magnitude (negating the input flips only the sign bit of the
+// output). With the positive half-plane proven exhaustively above, this
+// extends every boundary result to negative inputs.
+func TestF16NegativeSymmetry(t *testing.T) {
+	probe := func(f float32) {
+		p, n := ToF16(f), ToF16(-f)
+		if p^n != 0x8000 {
+			t.Fatalf("asymmetric rounding at %v: +%#04x vs -%#04x", f, p, n)
+		}
+	}
+	for h := uint16(0); h < 0x7BFF; h++ {
+		mid := float32(refDecodeF16(h)+refDecodeF16(h+1)) / 2
+		probe(mid)
+		probe(math.Nextafter32(mid, F16(h).Float32()))
+		probe(math.Nextafter32(mid, F16(h+1).Float32()))
+	}
+	probe(65520)
+	probe(1e9)
+	probe(1e-10)
+}
+
+func TestF16NaNPayloadPreserved(t *testing.T) {
+	cases := []struct {
+		f32bits uint32
+		want    F16
+	}{
+		// Quiet NaN with payload in the top bits.
+		{0x7FC00000, 0x7E00},
+		{0xFFC00000, 0xFE00},
+		// Payload bits below the half range are dropped, top bits kept.
+		{0x7FC0A000, 0x7E05},
+		// Signaling NaN whose payload lives only in the low bits must
+		// not collapse into Inf: the quiet bit is forced.
+		{0x7F800001, 0x7E00},
+		{0x7F801fff, 0x7E00},
+		// Signaling NaN with representable payload: payload kept, quieted.
+		{0x7F822000, 0x7E11},
+	}
+	for _, c := range cases {
+		if got := ToF16(math.Float32frombits(c.f32bits)); got != c.want {
+			t.Errorf("ToF16(NaN %#08x) = %#04x, want %#04x", c.f32bits, got, c.want)
+		}
+	}
+}

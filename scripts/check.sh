@@ -15,8 +15,18 @@ go build ./...
 echo "== go test -race (kernels, tensor, obs, profile)"
 go test -race ./internal/kernels/ ./internal/tensor/ ./internal/obs/ ./internal/profile/
 
+echo "== go test -race -short (nn, model, optim, ddp, audit — reduced scale)"
+go test -race -short ./internal/nn/ ./internal/model/ ./internal/optim/ ./internal/ddp/ ./internal/audit/
+
 echo "== go test ./..."
 go test ./...
+
+echo "== numerics audit sweep (cross-path differential + gradcheck + determinism)"
+go run ./cmd/bertchar -audit >/dev/null
+
+echo "== loss-scaler cap + FP16 conformance"
+go test -run 'TestLossScaler' -count=1 ./internal/optim/
+go test -run 'TestF16' -count=1 ./internal/tensor/
 
 echo "== alloc guard (GEMM + metrics hot paths + nil profiler, zero allocs)"
 go test -run 'TestGEMMZeroAllocSteadyState' -count=1 ./internal/kernels/
