@@ -906,3 +906,176 @@ func BenchmarkGEMMPaperSizes(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Fused GEMM epilogues and the int8 quantized path — Section 6.1's fusion
+// argument executed for real, plus the quantized-inference throughput row.
+
+// benchRealFFNEpilogue runs the full FFN block — FC1 + bias + GeLU, then
+// FC2 + bias + residual + LayerNorm — at a Table 2 shape (512 tokens of
+// BERT-Large: d=1024, dff=4096). The unfused baseline is the legacy
+// sequence on the blocked engine: per-call weight packing and separate
+// AddBias / GeLUForward / Add / LayerNormForward passes, each of which is
+// a full DRAM round trip of the activation. The fused variant consumes
+// pre-packed weights (as nn.Linear does via the Param pack cache) and
+// folds every tail operator into the GEMM tile write-back. Both legs save
+// the training-time backward state (pre-activations, LN statistics).
+func benchRealFFNEpilogue(b *testing.B, fused bool) {
+	const tokens, d, dff = 512, 1024, 4096
+	r := tensor.NewRNG(1)
+	x := make([]float32, tokens*d)
+	w1 := make([]float32, dff*d)
+	b1 := make([]float32, dff)
+	w2 := make([]float32, d*dff)
+	b2 := make([]float32, d)
+	gamma := make([]float32, d)
+	beta := make([]float32, d)
+	for _, s := range [][]float32{x, w1, b1, w2, b2, beta} {
+		for i := range s {
+			s[i] = r.Float32() - 0.5
+		}
+	}
+	for i := range gamma {
+		gamma[i] = 1
+	}
+	h := make([]float32, tokens*dff)   // FC1 pre-activation
+	a := make([]float32, tokens*dff)   // GeLU output
+	y := make([]float32, tokens*d)     // FC2 output
+	res := make([]float32, tokens*d)   // pre-LN sum
+	out := make([]float32, tokens*d)   // LN output
+	mean := make([]float32, tokens)
+	invStd := make([]float32, tokens)
+	const eps = 1e-5
+	pb1 := kernels.PackWeight(true, dff, d, w1)
+	pb2 := kernels.PackWeight(true, d, dff, w2)
+	ep1 := &kernels.Epilogue{Kind: kernels.EpilogueBiasGeLU, Bias: b1, X: h}
+	ep2 := &kernels.Epilogue{
+		Kind: kernels.EpilogueBiasResidualLayerNorm,
+		Bias: b2, Residual: x, Gamma: gamma, Beta: beta, Eps: eps,
+		X: res, Mean: mean, InvStd: invStd,
+	}
+	run := func() {
+		if fused {
+			kernels.GEMMPackedEpilogue(false, tokens, dff, d, 1, x, pb1, ep1, a)
+			kernels.GEMMPackedEpilogue(false, tokens, d, dff, 1, a, pb2, ep2, out)
+			return
+		}
+		kernels.GEMM(false, true, tokens, dff, d, 1, x, w1, 0, h)
+		kernels.AddBias(h, b1, tokens, dff)
+		kernels.GeLUForward(a, h)
+		kernels.GEMM(false, true, tokens, d, dff, 1, a, w2, 0, y)
+		kernels.AddBias(y, b2, tokens, d)
+		kernels.Add(res, y, x)
+		kernels.LayerNormForward(out, res, gamma, beta, mean, invStd, tokens, d, eps)
+	}
+	run() // warm pools
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	flops := float64(2*tokens*dff*d+2*tokens*d*dff) * float64(b.N)
+	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkRealFFNUnfusedTail(b *testing.B)   { benchRealFFNEpilogue(b, false) }
+func BenchmarkRealFFNFusedEpilogue(b *testing.B) { benchRealFFNEpilogue(b, true) }
+
+// BenchmarkGEMMInt8PaperSizes measures the int8 quantized engine against
+// the pre-packed f32 path on the Table 2 forward shapes whose B operand is
+// a weight (the only shapes the int8 path serves: nn.Linear forwards).
+// GFLOP/s counts the same 2mnk useful work for both so the rows compare
+// directly.
+func BenchmarkGEMMInt8PaperSizes(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, n, k int
+	}{
+		{"qkv_fwd_NT_512x1024x1024", 512, 1024, 1024},
+		{"fc1_fwd_NT_512x4096x1024", 512, 4096, 1024},
+		{"fc2_fwd_NT_512x1024x4096", 512, 1024, 4096},
+	}
+	for _, s := range shapes {
+		r := tensor.NewRNG(1)
+		x := make([]float32, s.m*s.k)
+		w := make([]float32, s.n*s.k)
+		c := make([]float32, s.m*s.n)
+		for i := range x {
+			x[i] = r.Float32() - 0.5
+		}
+		for i := range w {
+			w[i] = r.Float32() - 0.5
+		}
+		flopsPerOp := float64(2 * s.m * s.n * s.k)
+		b.Run(s.name+"/f32packed", func(b *testing.B) {
+			pb := kernels.PackWeight(true, s.n, s.k, w)
+			kernels.GEMMPacked(false, s.m, s.n, s.k, 1, x, pb, 0, c) // warm pools
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.GEMMPacked(false, s.m, s.n, s.k, 1, x, pb, 0, c)
+			}
+			b.ReportMetric(flopsPerOp*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+		b.Run(s.name+"/int8", func(b *testing.B) {
+			pb := kernels.PackWeightInt8(true, s.n, s.k, w)
+			kernels.GEMMInt8(s.m, s.n, s.k, x, pb, nil, c) // warm pools
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.GEMMInt8(s.m, s.n, s.k, x, pb, nil, c)
+			}
+			b.ReportMetric(flopsPerOp*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+// Reworked bias kernels: AddBias dispatches flattened element ranges (so
+// short-and-wide activations still use the full pool) and BiasGrad sweeps
+// row-major column bands instead of stride-n column walks.
+func BenchmarkRealAddBias(b *testing.B) {
+	for _, s := range []struct {
+		name string
+		m, n int
+	}{
+		{"short-wide_8x4096", 8, 4096},
+		{"tall_2048x1024", 2048, 1024},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			r := tensor.NewRNG(1)
+			x := make([]float32, s.m*s.n)
+			bias := make([]float32, s.n)
+			for i := range x {
+				x[i] = r.Float32()
+			}
+			kernels.AddBias(x, bias, s.m, s.n) // warm pools
+			b.SetBytes(int64(8 * s.m * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.AddBias(x, bias, s.m, s.n)
+			}
+		})
+	}
+}
+
+func BenchmarkRealBiasGrad(b *testing.B) {
+	for _, s := range []struct {
+		name string
+		m, n int
+	}{
+		{"short-wide_8x4096", 8, 4096},
+		{"tall_2048x1024", 2048, 1024},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			r := tensor.NewRNG(1)
+			dY := make([]float32, s.m*s.n)
+			dB := make([]float32, s.n)
+			for i := range dY {
+				dY[i] = r.Float32()
+			}
+			kernels.BiasGrad(dB, dY, s.m, s.n) // warm pools
+			b.SetBytes(int64(4 * s.m * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.BiasGrad(dB, dY, s.m, s.n)
+			}
+		})
+	}
+}

@@ -2,9 +2,13 @@ package audit
 
 import (
 	"runtime"
+	"strings"
 	"testing"
 
 	"demystbert/internal/kernels"
+	"demystbert/internal/nn"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
 )
 
 // TestModeMatrix differential-tests every subject through the execution-
@@ -113,14 +117,95 @@ func TestMatrixDimensions(t *testing.T) {
 		ckpt = ckpt || m.Ckpt
 		fused = fused || m.Fused
 	}
-	if len(paths) != 4 {
-		t.Errorf("GEMM paths enumerated: %d, want 4", len(paths))
+	if len(paths) != 6 {
+		t.Errorf("GEMM paths enumerated: %d, want 6 (naive/blocked/packed/batched/fused/int8)", len(paths))
 	}
 	if wantW := len(dedupInts([]int{1, 2, runtime.GOMAXPROCS(0)})); len(workers) != wantW {
 		t.Errorf("worker widths enumerated: %d, want %d", len(workers), wantW)
 	}
 	if !mp || !ckpt || !fused {
 		t.Errorf("dimension missing from matrix: mp=%v ckpt=%v fused=%v", mp, ckpt, fused)
+	}
+}
+
+// mutationSubjects builds bias-perturbed variants of the linear and
+// eval-mode encoder subjects for the mutation test below. The production
+// modules zero-initialize their biases, and a multiplicative fault on a
+// zero bias is invisible — the roster subjects would make the mutation
+// test vacuously green.
+func mutationSubjects() []*Subject {
+	lin := moduleSubject("linear.biased", false, func(Mode) *modInstance {
+		rng := tensor.NewRNG(weightSeed)
+		l := nn.NewLinear("audit.linb", linIn, linOut, profile.CatLinear, rng)
+		fillInput(l.B.Value, weightSeed+2)
+		x := tensor.New(linTokens, linIn)
+		fillInput(x, dataSeed)
+		dY := tensor.New(linTokens, linOut)
+		fillInput(dY, dataSeed+1)
+		return &modInstance{
+			forward:  func(ctx *nn.Ctx) *tensor.Tensor { return l.Forward(ctx, x) },
+			backward: func(ctx *nn.Ctx, g *tensor.Tensor) *tensor.Tensor { return l.Backward(ctx, g) },
+			params:   l.Params(), x: x, dY: dY,
+		}
+	})
+	enc := &Subject{Name: "encoder.eval.biased", HasAttention: true}
+	enc.Run = func(m Mode) *Trace {
+		rng := tensor.NewRNG(weightSeed)
+		e := nn.NewEncoderLayer("audit.encb", encDModel, encHeads, encDFF, 0.1, rng)
+		seed := uint64(weightSeed + 2)
+		for _, p := range e.Params() {
+			if strings.HasSuffix(p.Name, ".bias") {
+				fillInput(p.Value, seed)
+				seed++
+			}
+		}
+		e.Attn.FusedSoftmax = m.Fused
+		mask := paddingMask(encB, encN)
+		x := tensor.New(encB*encN, encDModel)
+		fillInput(x, dataSeed)
+		ctx := nn.NewCtx(ctxSeed)
+		ctx.MixedPrecision = m.MP
+		ctx.Train = false
+		y := e.Forward(ctx, x, encB, encN, mask)
+		tr := newTrace()
+		tr.add("out", y.Data())
+		return tr
+	}
+	return []*Subject{lin, enc}
+}
+
+// TestHarnessCatchesBrokenEpilogue is the harness's own mutation test for
+// the new fused paths: it injects a bias fault into the fused tile
+// write-back (kernels.SetEpilogueDebugBiasScale — the forced unfused
+// reference paths stay honest) and asserts the differential comparison
+// flags every fused-engine mode. A harness that stays green under a
+// deliberately broken epilogue would be decorative.
+func TestHarnessCatchesBrokenEpilogue(t *testing.T) {
+	prev := kernels.SetEpilogueDebugBiasScale(1.5)
+	defer kernels.SetEpilogueDebugBiasScale(prev)
+	if prev != 1 {
+		t.Fatalf("debug bias scale at rest = %v, want 1", prev)
+	}
+	for _, s := range mutationSubjects() {
+		for _, m := range []Mode{
+			{Path: kernels.GEMMPathFused, Workers: 1},
+			{Path: kernels.GEMMPathInt8, Workers: 1},
+		} {
+			if divs := RunModes(s, []Mode{m}); len(divs) == 0 {
+				t.Errorf("%s [%s]: harness failed to flag a 1.5x-skewed fused bias", s.Name, m)
+			}
+		}
+	}
+	// With the fault removed the same modes must be green again, proving
+	// the failure above came from the injected fault alone.
+	kernels.SetEpilogueDebugBiasScale(prev)
+	for _, s := range mutationSubjects() {
+		for _, d := range RunModes(s, []Mode{
+			{Path: kernels.GEMMPathFused, Workers: 1},
+			{Path: kernels.GEMMPathInt8, Workers: 1},
+		}) {
+			t.Errorf("after fault removal: %s", d)
+		}
 	}
 }
 

@@ -36,6 +36,12 @@ func DeterminismModes(quick bool) []Mode {
 		if !quick {
 			ms = append(ms, Mode{Path: kernels.GEMMPathNaive, Workers: w})
 			ms = append(ms, Mode{Path: kernels.GEMMPathBatched, Workers: w, MP: true})
+			// The fused-epilogue and int8 engines must also replay
+			// bit-identically: fused shares the packed schedule, and int8
+			// re-quantizes per call from the same weights in fixed integer
+			// order.
+			ms = append(ms, Mode{Path: kernels.GEMMPathFused, Workers: w})
+			ms = append(ms, Mode{Path: kernels.GEMMPathInt8, Workers: w})
 		}
 	}
 	return ms

@@ -127,12 +127,17 @@ func gradCheckLoss(subject string, m Mode, params []*nn.Param,
 // GradModes returns the reduced mode list gradchecking runs at: one mode
 // per GEMM path (finite differences validate analytic-vs-numeric per
 // implementation; the worker dimension is already pinned bitwise by the
-// oracle comparison), with fusion exercised on the batched path.
+// oracle comparison), with softmax fusion exercised on the batched path
+// and the fused-epilogue engine exercised as its own path. The int8 path
+// is deliberately excluded: its forward is a quantized step function of
+// the parameters, so central differences measure the quantizer's
+// staircase, not the gradient (the same reason MP modes are skipped).
 func GradModes(s *Subject) []Mode {
 	ms := []Mode{
 		{Path: kernels.GEMMPathNaive, Workers: 1},
 		{Path: kernels.GEMMPathBlocked, Workers: 1},
 		{Path: kernels.GEMMPathPacked, Workers: 1},
+		{Path: kernels.GEMMPathFused, Workers: 1},
 	}
 	last := Mode{Path: kernels.GEMMPathBatched, Workers: 2}
 	if s.HasAttention {

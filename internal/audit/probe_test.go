@@ -49,6 +49,8 @@ func TestProbePathDeltas(t *testing.T) {
 				{Path: kernels.GEMMPathBlocked, Workers: 1},
 				{Path: kernels.GEMMPathPacked, Workers: 1},
 				{Path: kernels.GEMMPathBatched, Workers: 4},
+				{Path: kernels.GEMMPathFused, Workers: 4},
+				{Path: kernels.GEMMPathInt8, Workers: 4},
 			} {
 				rel, bw := probeDiff(t, s, m, naive)
 				t.Logf("%-40s vs oracle: maxRel=%.3g bitwise=%v", m, rel, bw)

@@ -207,6 +207,32 @@ func newEncoderSubject() *Subject {
 	})
 }
 
+// newEncoderEvalSubject audits the encoder layer in evaluation mode
+// (ctx.Train=false, forward only). This is the regime where the fused
+// Add&Norm epilogues engage even with a nonzero configured dropout
+// probability (the block dropouts are inactive in eval), so it is the
+// subject that differences the bias+residual+LayerNorm fused write-back
+// against the unfused reference tail across every path of the matrix.
+func newEncoderEvalSubject() *Subject {
+	s := &Subject{Name: "encoder.eval", HasAttention: true}
+	s.Run = func(m Mode) *Trace {
+		rng := tensor.NewRNG(weightSeed)
+		e := nn.NewEncoderLayer("audit.ence", encDModel, encHeads, encDFF, 0.1, rng)
+		e.Attn.FusedSoftmax = m.Fused
+		mask := paddingMask(encB, encN)
+		x := tensor.New(encB*encN, encDModel)
+		fillInput(x, dataSeed)
+		ctx := nn.NewCtx(ctxSeed)
+		ctx.MixedPrecision = m.MP
+		ctx.Train = false
+		y := e.Forward(ctx, x, encB, encN, mask)
+		tr := newTrace()
+		tr.add("out", y.Data())
+		return tr
+	}
+	return s
+}
+
 func buildStepBERT(m Mode) *model.BERT {
 	b, err := model.New(stepConfig(m.Fused), weightSeed)
 	if err != nil {
@@ -322,6 +348,7 @@ func Subjects() []*Subject {
 		newFeedForwardSubject(),
 		newAttentionSubject(),
 		newEncoderSubject(),
+		newEncoderEvalSubject(),
 		newBERTStepSubject(),
 		newFineTuneStepSubject(),
 	}

@@ -1,6 +1,9 @@
 package kernels
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // The element-wise kernels correspond to the paper's non-GEMM operations
 // (Section 3.2.3): each performs at most a handful of operations per
@@ -58,21 +61,86 @@ func Scale(dst, a []float32, s float32) {
 	})
 }
 
+// addBiasGrain is the element-range chunk AddBias hands to the pool:
+// 16 KiB of float32 per chunk, coarse enough to amortize dispatch on a
+// bandwidth-bound kernel.
+const addBiasGrain = 4096
+
+// addBiasState is AddBias's pooled dispatch body. Work items are flattened
+// element ranges rather than whole rows, so short-and-wide activations
+// (m below the worker count — e.g. per-head attention tails) still spread
+// across the pool instead of capping parallelism at m.
+type addBiasState struct {
+	x, bias []float32
+	n       int
+}
+
+func (s *addBiasState) runRange(lo, hi int) {
+	for i := lo; i < hi; {
+		j := i % s.n
+		end := min(hi, i-j+s.n) // clip the segment to its row boundary
+		row := s.x[i:end]
+		b := s.bias[j : j+len(row)]
+		for k := range row {
+			row[k] += b[k]
+		}
+		i = end
+	}
+}
+
+var addBiasPool = sync.Pool{New: func() any { return new(addBiasState) }}
+
 // AddBias adds a length-n bias vector to every row of an m×n matrix in
-// place.
+// place. (The GEMM epilogue engine fuses this into the tile write-back on
+// the fast paths — this standalone kernel remains the unfused reference
+// and serves the sites without a producing GEMM.)
 func AddBias(x []float32, bias []float32, m, n int) {
 	if len(x) != m*n || len(bias) != n {
 		panic(fmt.Sprintf("kernels: AddBias dims x=%d bias=%d m=%d n=%d", len(x), len(bias), m, n))
 	}
-	parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := x[i*n : (i+1)*n]
-			for j, b := range bias {
-				row[j] += b
+	s := addBiasPool.Get().(*addBiasState)
+	s.x, s.bias, s.n = x, bias, n
+	parallelRun(m*n, addBiasGrain, s)
+	s.x, s.bias = nil, nil
+	addBiasPool.Put(s)
+}
+
+// biasGradChunk is the column-band width of BiasGrad's row-major sweep —
+// wide enough for contiguous vectorizable loads, small enough that each
+// band's accumulator lives on the stack.
+const biasGradChunk = 64
+
+// biasGradState is BiasGrad's pooled dispatch body: work items are
+// disjoint column ranges (so concurrent writes to dBias never collide),
+// but within a band the matrix is swept row-major, turning the naive
+// kernel's stride-n single-float column walks into contiguous loads. The
+// per-column accumulation order stays i = 0..m-1, so the result is
+// bitwise identical to the serial column-at-a-time kernel.
+type biasGradState struct {
+	dBias, dY []float32
+	m, n      int
+}
+
+func (s *biasGradState) runRange(lo, hi int) {
+	var acc [biasGradChunk]float32
+	for j0 := lo; j0 < hi; j0 += biasGradChunk {
+		w := min(biasGradChunk, hi-j0)
+		a := acc[:w]
+		clear(a)
+		for i := 0; i < s.m; i++ {
+			row := s.dY[i*s.n+j0 : i*s.n+j0+w]
+			for k, v := range row {
+				a[k] += v
 			}
 		}
-	})
+		out := s.dBias[j0 : j0+w]
+		for k := range a {
+			out[k] += a[k]
+		}
+	}
 }
+
+var biasGradPool = sync.Pool{New: func() any { return new(biasGradState) }}
 
 // BiasGrad accumulates the column sums of an m×n gradient matrix into
 // dBias (the backward pass of AddBias).
@@ -80,16 +148,12 @@ func BiasGrad(dBias []float32, dY []float32, m, n int) {
 	if len(dY) != m*n || len(dBias) != n {
 		panic(fmt.Sprintf("kernels: BiasGrad dims dY=%d dBias=%d m=%d n=%d", len(dY), len(dBias), m, n))
 	}
-	// Parallelize over columns to avoid write conflicts.
-	parallelFor(n, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			var s float32
-			for i := 0; i < m; i++ {
-				s += dY[i*n+j]
-			}
-			dBias[j] += s
-		}
-	})
+	s := biasGradPool.Get().(*biasGradState)
+	s.dBias, s.dY, s.m, s.n = dBias, dY, m, n
+	// Grain = band width so ranges land on band boundaries.
+	parallelRun(n, biasGradChunk, s)
+	s.dBias, s.dY = nil, nil
+	biasGradPool.Put(s)
 }
 
 // MaskAdd computes dst[i] = a[i] + mask[i]. BERT's attention mask is

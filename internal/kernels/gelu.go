@@ -12,10 +12,18 @@ func GeLUForward(dst, x []float32) {
 	checkSameLen("GeLUForward", dst, x)
 	parallelFor(len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			v := float64(x[i])
-			dst[i] = float32(v * 0.5 * (1 + math.Erf(v/math.Sqrt2)))
+			dst[i] = geluScalar(x[i])
 		}
 	})
+}
+
+// geluScalar is the shared scalar GELU used by both the stand-alone
+// GeLUForward pass and the fused GEMM epilogue (gemm_epilogue.go). Keeping
+// the exact same float64 expression in one place is what makes the fused
+// and unfused paths bitwise-identical.
+func geluScalar(x float32) float32 {
+	v := float64(x)
+	return float32(v * 0.5 * (1 + math.Erf(v/math.Sqrt2)))
 }
 
 // GeLUBackward computes dX = dY * GELU'(x) with the exact derivative

@@ -34,9 +34,12 @@ func GEMM(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 	switch CurrentGEMMPath() {
 	case GEMMPathNaive:
 		gemmNaivePar(transA, transB, m, n, k, alpha, a, b, c)
-	case GEMMPathBlocked, GEMMPathPacked, GEMMPathBatched:
+	case GEMMPathBlocked, GEMMPathPacked, GEMMPathBatched, GEMMPathFused:
 		gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, true)
 	default:
+		// Auto — and GEMMPathInt8, which only redirects the frozen-weight
+		// Linear forward (the caller routes to GEMMInt8); every other
+		// product keeps production routing.
 		if 2*m*n*k < smallGEMMFlops {
 			gemmNaiveSerial(transA, transB, m, n, k, alpha, a, b, c)
 			return
@@ -243,7 +246,7 @@ func BatchedGEMM(batch int, transA, transB bool, m, n, k int, alpha float32, a [
 		batchedPerMatrixRuns.Inc()
 		batchedPerMatrix(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
 		return
-	case GEMMPathBatched:
+	case GEMMPathBatched, GEMMPathFused:
 		batchedBlockedRuns.Inc()
 		batchedBlocked(batch, transA, transB, m, n, k, alpha, a, strideA, b, strideB, beta, c, strideC)
 		return
@@ -364,7 +367,7 @@ func gemmSerial(transA, transB bool, m, n, k int, alpha float32, a, b []float32,
 	switch CurrentGEMMPath() {
 	case GEMMPathNaive:
 		gemmNaiveSerial(transA, transB, m, n, k, alpha, a, b, c)
-	case GEMMPathBlocked, GEMMPathPacked, GEMMPathBatched:
+	case GEMMPathBlocked, GEMMPathPacked, GEMMPathBatched, GEMMPathFused:
 		gemmBlocked(transA, transB, m, n, k, alpha, a, b, c, false)
 	default:
 		if 2*m*n*k < smallGEMMFlops {

@@ -55,6 +55,7 @@ var (
 // state on non-amd64 builds and under DEMYSTBERT_NOSIMD=1).
 func useScalarKernel() {
 	gemmMR, gemmNR, microKernel = 4, 4, microKernel4x4
+	int8Kernel = gemmInt8Kernel4x16Go
 }
 
 // gemmBlocked computes C += alpha·op(A)·op(B) (beta is applied by the
@@ -95,6 +96,13 @@ type gemmState struct {
 	kcb     int
 	segs    int // column segments per row block
 	segCols int // columns per segment (multiple of nr)
+
+	// Fused epilogue (gemm_epilogue.go): when ep is set and epOn marks
+	// the final depth block, each tile applies the element-wise epilogue
+	// right after its micro-tile sweep, while the tile is cache-hot.
+	// Both stay zero for the plain blocked/packed paths.
+	ep   *Epilogue
+	epOn bool
 }
 
 var gemmStatePool = sync.Pool{New: func() any { return new(gemmState) }}
@@ -145,6 +153,9 @@ func (g *gemmState) tile(t int) {
 	j0 := (t % g.segs) * g.segCols
 	jEnd := min(j0+g.segCols, g.ncb)
 	microTileSweep(g.c[g.i0*g.ldc+g.jc:], g.ldc, g.ap, g.bp, g.kcb, i, iEnd, j0, jEnd, g.ms, g.ncb)
+	if g.epOn && g.ep != nil {
+		g.ep.applyTile(g.c, g.ldc, g.i0+i, g.i0+iEnd, g.jc+j0, g.jc+jEnd)
+	}
 }
 
 var microTilePool = sync.Pool{New: func() any { return new([microTileMax]float32) }}

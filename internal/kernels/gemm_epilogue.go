@@ -1,0 +1,359 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Fused GEMM epilogues. The paper's operator-fusion study (Section 6.1)
+// shows that once the GEMMs are fast, BERT's memory-bound tail operators —
+// bias add, GeLU, residual add, LayerNorm — cap achieved throughput
+// because every one of them re-reads and re-writes the full activation
+// from DRAM. An epilogue folds that tail into the GEMM's own write-back:
+// the element-wise part is applied per output tile while the tile is still
+// cache-hot (immediately after the last depth block accumulates into it),
+// and the LayerNorm row reduction runs as a finalize pass over the
+// just-completed stripe, so the activation never makes a separate
+// DRAM round trip.
+//
+// Numerics contract: the fused write-back performs the exact same float32
+// expressions, in the same order, as the unfused reference sequence
+// (AddBias → GeLUForward / AddBias → residual add → LayerNormForward),
+// sharing the scalar helpers geluScalar and layerNormRowStats/-Apply. The
+// engine never contracts a+b+c or reorders row reductions, so fused and
+// unfused results are bitwise identical on the same micro-kernel backend —
+// an invariant the audit harness pins (internal/audit).
+
+// EpilogueKind selects which tail-operator sequence a GEMM epilogue fuses.
+type EpilogueKind int32
+
+const (
+	// EpilogueNone applies no tail; the call behaves like GEMMPacked with
+	// beta = 0.
+	EpilogueNone EpilogueKind = iota
+	// EpilogueBias adds a per-column bias: C[i][j] = acc + Bias[j].
+	EpilogueBias
+	// EpilogueBiasGeLU adds the bias then applies the exact GeLU:
+	// C[i][j] = gelu(acc + Bias[j]). The pre-activation (acc + bias) is
+	// optionally saved to X for the backward pass.
+	EpilogueBiasGeLU
+	// EpilogueBiasResidualLayerNorm adds bias and a residual skip input,
+	// then layer-normalizes each completed row with the learned affine
+	// transform: C[i] = LN(acc_i + Bias + Residual_i; Gamma, Beta, Eps).
+	// The pre-LN rows and per-row statistics are optionally saved to
+	// X/Mean/InvStd for the backward pass.
+	EpilogueBiasResidualLayerNorm
+)
+
+// String names the kind for error messages and audit reports.
+func (k EpilogueKind) String() string {
+	switch k {
+	case EpilogueNone:
+		return "none"
+	case EpilogueBias:
+		return "bias"
+	case EpilogueBiasGeLU:
+		return "bias+gelu"
+	case EpilogueBiasResidualLayerNorm:
+		return "bias+residual+layernorm"
+	}
+	return "invalid"
+}
+
+// Epilogue describes the fused tail of one GEMM call. All slices are
+// borrowed for the duration of the call; Save buffers (X, Mean, InvStd)
+// may be nil when the caller does not need backward state (evaluation).
+type Epilogue struct {
+	Kind EpilogueKind
+
+	// Bias is the per-output-column bias vector, length n. Required for
+	// every kind except EpilogueNone.
+	Bias []float32
+	// Residual is the skip input added before LayerNorm, length m×n
+	// (row-major, same leading dimension as C). LN kind only.
+	Residual []float32
+	// Gamma, Beta, Eps are the LayerNorm affine parameters (length n) and
+	// variance epsilon. LN kind only.
+	Gamma, Beta []float32
+	Eps         float32
+
+	// X, when non-nil (length m×n), receives the pre-activation: acc+bias
+	// for EpilogueBiasGeLU (the GeLU backward input), acc+bias+residual
+	// for the LN kind (the LayerNorm backward input).
+	X []float32
+	// Mean and InvStd, when non-nil (length m), receive the per-row LN
+	// statistics for the backward pass. Both or neither must be set.
+	Mean, InvStd []float32
+}
+
+// check validates the epilogue's buffers against the output shape; it
+// panics on mismatch since a short buffer would corrupt training silently.
+func (ep *Epilogue) check(m, n int) {
+	switch ep.Kind {
+	case EpilogueNone:
+		return
+	case EpilogueBias, EpilogueBiasGeLU:
+	case EpilogueBiasResidualLayerNorm:
+		if len(ep.Residual) != m*n {
+			panic(fmt.Sprintf("kernels: Epilogue %s residual %d, want m*n=%d", ep.Kind, len(ep.Residual), m*n))
+		}
+		if len(ep.Gamma) != n || len(ep.Beta) != n {
+			panic(fmt.Sprintf("kernels: Epilogue %s gamma=%d beta=%d, want n=%d", ep.Kind, len(ep.Gamma), len(ep.Beta), n))
+		}
+		if (ep.Mean != nil) != (ep.InvStd != nil) {
+			panic("kernels: Epilogue LN must set Mean and InvStd together")
+		}
+		if ep.Mean != nil && (len(ep.Mean) != m || len(ep.InvStd) != m) {
+			panic(fmt.Sprintf("kernels: Epilogue %s mean=%d invStd=%d, want m=%d", ep.Kind, len(ep.Mean), len(ep.InvStd), m))
+		}
+	default:
+		panic(fmt.Sprintf("kernels: invalid EpilogueKind %d", int(ep.Kind)))
+	}
+	if len(ep.Bias) != n {
+		panic(fmt.Sprintf("kernels: Epilogue %s bias %d, want n=%d", ep.Kind, len(ep.Bias), n))
+	}
+	if ep.X != nil && len(ep.X) != m*n {
+		panic(fmt.Sprintf("kernels: Epilogue %s X save buffer %d, want m*n=%d", ep.Kind, len(ep.X), m*n))
+	}
+}
+
+// epilogueDebugBiasScale is a fault-injection knob for the audit
+// harness's self-test: the fused tile write-back multiplies the bias by
+// this factor, so a deliberately skewed scale must surface as a
+// divergence between the fused path and its unfused oracle. It exists
+// only to prove the differential harness can catch a broken epilogue;
+// production code never touches it. Stored as float bits for race-free
+// access from the -race audit legs.
+var epilogueDebugBiasScale atomic.Uint32
+
+func init() { epilogueDebugBiasScale.Store(math.Float32bits(1)) }
+
+// SetEpilogueDebugBiasScale installs a bias fault factor for the fused
+// write-back (1 = correct behavior) and returns the previous factor.
+// Test-only: see epilogueDebugBiasScale.
+func SetEpilogueDebugBiasScale(s float32) float32 {
+	return math.Float32frombits(epilogueDebugBiasScale.Swap(math.Float32bits(s)))
+}
+
+func debugBiasScale() float32 { return math.Float32frombits(epilogueDebugBiasScale.Load()) }
+
+// GEMMPackedEpilogue computes C = alpha·op(A)·pb followed by the epilogue
+// tail, overwriting C (beta = 0 semantics: epilogues define the full
+// output). pb is op(B) packed by PackWeight, as in GEMMPacked.
+//
+// Routing mirrors the other entry points: the forced naive / blocked /
+// packed / batched paths run the plain GEMM and then the unfused
+// reference tail (the differential comparators for the audit harness),
+// while auto and the forced fused path run the fused engine. Fused and
+// unfused results are bitwise identical on the same backend (see the
+// package comment above).
+func GEMMPackedEpilogue(transA bool, m, n, k int, alpha float32, a []float32, pb *PackedB, ep *Epilogue, c []float32) {
+	if ep == nil || ep.Kind == EpilogueNone {
+		GEMMPacked(transA, m, n, k, alpha, a, pb, 0, c)
+		return
+	}
+	if pb == nil {
+		panic("kernels: GEMMPackedEpilogue with nil PackedB")
+	}
+	if !pb.Matches(pb.transB, n, k) {
+		panic(fmt.Sprintf("kernels: GEMMPackedEpilogue operand packed for n=%d k=%d nr=%d, called with n=%d k=%d nr=%d — repack required",
+			pb.n, pb.k, pb.nr, n, k, gemmNR))
+	}
+	checkGEMMArgs(transA, pb.transB, m, n, k, a, pb.src, c)
+	if m == 0 || n == 0 {
+		return
+	}
+	ep.check(m, n)
+	if k == 0 || alpha == 0 {
+		// BLAS quick return for the product; the epilogue still defines
+		// the output (bias rows, or LN of bias+residual).
+		scaleC(c[:m*n], 0)
+		ep.applyReference(c, m, n)
+		return
+	}
+	switch CurrentGEMMPath() {
+	case GEMMPathNaive:
+		scaleC(c[:m*n], 0)
+		gemmNaivePar(transA, pb.transB, m, n, k, alpha, a, pb.src, c)
+		ep.applyReference(c, m, n)
+	case GEMMPathBlocked:
+		scaleC(c[:m*n], 0)
+		gemmBlocked(transA, pb.transB, m, n, k, alpha, a, pb.src, c, true)
+		ep.applyReference(c, m, n)
+	case GEMMPathPacked, GEMMPathBatched:
+		scaleC(c[:m*n], 0)
+		gemmPackedBlocked(transA, m, n, k, alpha, a, pb, c)
+		ep.applyReference(c, m, n)
+	case GEMMPathFused:
+		gemmPackedFused(transA, m, n, k, alpha, a, pb, ep, c)
+	default:
+		// Auto (and the int8 override, whose redirect lives in the
+		// caller): tiny products keep the naive fallback — the packed
+		// engine never pays for itself down there — with the reference
+		// tail; everything else runs fused.
+		if 2*m*n*k < smallGEMMFlops {
+			scaleC(c[:m*n], 0)
+			gemmNaiveSerial(transA, pb.transB, m, n, k, alpha, a, pb.src, c)
+			ep.applyReference(c, m, n)
+			return
+		}
+		gemmPackedFused(transA, m, n, k, alpha, a, pb, ep, c)
+	}
+}
+
+// applyReference applies the epilogue as the unfused kernel sequence the
+// fused write-back replaces, reusing the stand-alone element-wise kernels
+// so legacy call sites and epilogue call sites stay bitwise-identical.
+func (ep *Epilogue) applyReference(c []float32, m, n int) {
+	epilogueReferenceRuns.Inc()
+	switch ep.Kind {
+	case EpilogueNone:
+	case EpilogueBias:
+		AddBias(c, ep.Bias, m, n)
+	case EpilogueBiasGeLU:
+		AddBias(c, ep.Bias, m, n)
+		if ep.X != nil {
+			copyRows(ep.X, c)
+		}
+		GeLUForward(c, c)
+	case EpilogueBiasResidualLayerNorm:
+		AddBias(c, ep.Bias, m, n)
+		AccumulateInto(c, ep.Residual)
+		ep.finalizeLNRows(c, 0, m, n)
+	}
+}
+
+// copyRows copies src into dst in parallel (save-buffer fill).
+func copyRows(dst, src []float32) {
+	checkSameLen("copyRows", dst, src)
+	parallelFor(len(src), func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Fused engine.
+
+// gemmPackedFused is gemmPackedBlocked with the epilogue folded into the
+// write-back: during the final depth block of each stripe the tile grid
+// applies the element-wise part of the epilogue to each tile right after
+// the micro-kernel finishes it (cache-hot), and LN rows are finalized per
+// stripe immediately after its grid completes, while the rows are still
+// warm.
+func gemmPackedFused(transA bool, m, n, k int, alpha float32, a []float32, pb *PackedB, ep *Epilogue, c []float32) {
+	switch ep.Kind {
+	case EpilogueBias:
+		epilogueFusedBias.Inc()
+	case EpilogueBiasGeLU:
+		epilogueFusedBiasGeLU.Inc()
+	case EpilogueBiasResidualLayerNorm:
+		epilogueFusedBiasResLN.Inc()
+	}
+	scaleC(c[:m*n], 0)
+	mr := gemmMR
+	kc0 := min(k, gemmKC)
+	ap := getScratch(((min(m, gemmStripe) + mr - 1) / mr) * mr * kc0)
+	g := gemmStatePool.Get().(*gemmState)
+	g.ep = ep
+	for io := 0; io < m; io += gemmStripe {
+		ms := min(gemmStripe, m-io)
+		for pc := 0; pc < k; pc += gemmKC {
+			kcb := min(gemmKC, k-pc)
+			g.epOn = pc+gemmKC >= k
+			packA(transA, *ap, a, io, ms, pc, kcb, m, k, alpha, mr, true)
+			g.run(c, *ap, pb.buf[pb.panelW*pc:], n, io, ms, 0, n, kcb, true)
+		}
+		if ep.Kind == EpilogueBiasResidualLayerNorm {
+			ep.finalizeLNRows(c, io, ms, n)
+		}
+	}
+	g.ep, g.epOn = nil, false
+	gemmStatePool.Put(g)
+	putScratch(ap)
+}
+
+// applyTile applies the element-wise part of the epilogue to the C region
+// rows [r0, r1) × cols [c0, c1). c is the full output buffer with leading
+// dimension ld; Residual and X share that leading dimension. For the LN
+// kind only bias+residual happens here — normalization needs complete
+// rows and runs in finalizeLNRows.
+func (ep *Epilogue) applyTile(c []float32, ld, r0, r1, c0, c1 int) {
+	bs := debugBiasScale()
+	switch ep.Kind {
+	case EpilogueBias:
+		for r := r0; r < r1; r++ {
+			row := c[r*ld : r*ld+c1]
+			for j := c0; j < c1; j++ {
+				row[j] += bs * ep.Bias[j]
+			}
+		}
+	case EpilogueBiasGeLU:
+		for r := r0; r < r1; r++ {
+			row := c[r*ld : r*ld+c1]
+			if ep.X != nil {
+				xrow := ep.X[r*ld : r*ld+c1]
+				for j := c0; j < c1; j++ {
+					pre := row[j] + bs*ep.Bias[j]
+					xrow[j] = pre
+					row[j] = geluScalar(pre)
+				}
+				continue
+			}
+			for j := c0; j < c1; j++ {
+				row[j] = geluScalar(row[j] + bs*ep.Bias[j])
+			}
+		}
+	case EpilogueBiasResidualLayerNorm:
+		for r := r0; r < r1; r++ {
+			row := c[r*ld : r*ld+c1]
+			res := ep.Residual[r*ld : r*ld+c1]
+			for j := c0; j < c1; j++ {
+				// Same association as the unfused sequence: (acc+bias)
+				// first (AddBias), then +residual (AccumulateInto).
+				row[j] = (row[j] + bs*ep.Bias[j]) + res[j]
+			}
+		}
+	}
+}
+
+// epLNFinalizeState is the pooled parallel-region body of the LayerNorm
+// finalize pass: item r normalizes row row0+r of c in place, saving the
+// pre-LN row and statistics when the epilogue asks for them.
+type epLNFinalizeState struct {
+	c    []float32
+	ep   *Epilogue
+	row0 int
+	n    int
+}
+
+var epLNFinalizePool = sync.Pool{New: func() any { return new(epLNFinalizeState) }}
+
+func (s *epLNFinalizeState) runRange(lo, hi int) {
+	n, ep := s.n, s.ep
+	for t := lo; t < hi; t++ {
+		r := s.row0 + t
+		row := s.c[r*n : (r+1)*n]
+		if ep.X != nil {
+			copy(ep.X[r*n:(r+1)*n], row)
+		}
+		mu, istd := layerNormRowStats(row, ep.Eps)
+		if ep.Mean != nil {
+			ep.Mean[r] = mu
+			ep.InvStd[r] = istd
+		}
+		layerNormRowApply(row, row, ep.Gamma, ep.Beta, mu, istd)
+	}
+}
+
+// finalizeLNRows normalizes rows [row0, row0+rows) of c in place. Shared
+// by the fused stripe finalize and the unfused reference applier, so both
+// perform the identical per-row float sequence.
+func (ep *Epilogue) finalizeLNRows(c []float32, row0, rows, n int) {
+	s := epLNFinalizePool.Get().(*epLNFinalizeState)
+	s.c, s.ep, s.row0, s.n = c, ep, row0, n
+	parallelRun(rows, 4, s)
+	s.c, s.ep = nil, nil
+	epLNFinalizePool.Put(s)
+}

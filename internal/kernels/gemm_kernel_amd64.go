@@ -10,6 +10,9 @@ import "os"
 //go:noescape
 func sgemmKernel6x16(kc int64, a, b, c *float32, ldc int64)
 
+//go:noescape
+func igemmKernel4x16(kg int64, a *uint8, b *int8, acc *int32)
+
 func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv() (eax, edx uint32)
 
@@ -17,6 +20,14 @@ func xgetbv() (eax, edx uint32)
 // micro-kernel signature: C[0:6][0:16] += Apanel·Bpanel.
 func microKernel6x16(kc int, a, b, c []float32, ldc int) {
 	sgemmKernel6x16(int64(kc), &a[0], &b[0], &c[0], int64(ldc))
+}
+
+// int8Kernel4x16SIMD adapts the AVX2 int8 assembly kernel to the generic
+// int8 micro-kernel signature (4×16 int32 tile, overwrite semantics).
+func int8Kernel4x16SIMD(kg int, a []uint8, b []int8, acc *[int8MR * int8NR]int32) {
+	_ = a[kg*int8MR*int8KGroup-1]
+	_ = b[kg*int8NR*int8KGroup-1]
+	igemmKernel4x16(int64(kg), &a[0], &b[0], &acc[0])
 }
 
 // haveAVX2FMA reports whether both the CPU and the OS support AVX2 and FMA
@@ -49,6 +60,7 @@ func useSIMDKernel() bool {
 		return false
 	}
 	gemmMR, gemmNR, microKernel = 6, 16, microKernel6x16
+	int8Kernel = int8Kernel4x16SIMD
 	return true
 }
 

@@ -32,6 +32,19 @@ const (
 	// GEMMPathBatched is GEMMPathPacked plus the flattened batched
 	// blocked engine for BatchedGEMM (the full fast-path stack).
 	GEMMPathBatched
+	// GEMMPathFused is GEMMPathBatched plus fused GEMM epilogues: on
+	// GEMMPackedEpilogue calls the bias / bias+GeLU / bias+residual+
+	// LayerNorm tail is applied inside the tile write-back instead of as
+	// separate element-wise passes (gemm_epilogue.go). Plain GEMM and
+	// BatchedGEMM entry points route exactly like GEMMPathBatched.
+	GEMMPathFused
+	// GEMMPathInt8 routes frozen-weight forward GEMMs (nn.Linear with a
+	// cached int8 weight pack) through the quantized GEMMInt8 engine;
+	// every other GEMM entry point falls back to auto routing. The
+	// selection happens in the caller (nn.Linear checks this path), so
+	// forcing it audits int8 forwards against the f32 oracle while the
+	// backward pass stays in f32.
+	GEMMPathInt8
 )
 
 // String names the path for mode tables and audit reports.
@@ -47,6 +60,10 @@ func (p GEMMPath) String() string {
 		return "packed"
 	case GEMMPathBatched:
 		return "batched"
+	case GEMMPathFused:
+		return "fused"
+	case GEMMPathInt8:
+		return "int8"
 	}
 	return "invalid"
 }

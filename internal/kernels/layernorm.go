@@ -21,24 +21,39 @@ func LayerNormForward(y, x, gamma, beta []float32, mean, invStd []float32, rows,
 		for r := lo; r < hi; r++ {
 			xr := x[r*n : (r+1)*n]
 			yr := y[r*n : (r+1)*n]
-			var sum float32
-			for _, v := range xr {
-				sum += v
-			}
-			mu := sum / float32(n)
-			var sq float32
-			for _, v := range xr {
-				d := v - mu
-				sq += d * d
-			}
-			istd := 1 / float32(math.Sqrt(float64(sq/float32(n)+eps)))
+			mu, istd := layerNormRowStats(xr, eps)
 			mean[r] = mu
 			invStd[r] = istd
-			for i, v := range xr {
-				yr[i] = gamma[i]*(v-mu)*istd + beta[i]
-			}
+			layerNormRowApply(yr, xr, gamma, beta, mu, istd)
 		}
 	})
+}
+
+// layerNormRowStats computes the mean and inverse standard deviation of
+// one row. Shared by LayerNormForward and the fused GEMM epilogue
+// (gemm_epilogue.go) so the two paths are bitwise-identical.
+func layerNormRowStats(xr []float32, eps float32) (mu, istd float32) {
+	n := len(xr)
+	var sum float32
+	for _, v := range xr {
+		sum += v
+	}
+	mu = sum / float32(n)
+	var sq float32
+	for _, v := range xr {
+		d := v - mu
+		sq += d * d
+	}
+	istd = 1 / float32(math.Sqrt(float64(sq/float32(n)+eps)))
+	return mu, istd
+}
+
+// layerNormRowApply writes the normalized affine transform of xr into yr.
+// yr and xr may alias: each element is read before it is written.
+func layerNormRowApply(yr, xr, gamma, beta []float32, mu, istd float32) {
+	for i, v := range xr {
+		yr[i] = gamma[i]*(v-mu)*istd + beta[i]
+	}
 }
 
 // LayerNormBackward computes the three layer-norm gradients given the

@@ -30,4 +30,22 @@ var (
 		"batched GEMMs routed to the per-matrix fallback path")
 	batchedPackCapTrips = obs.NewCounter("kernels_batched_gemm_pack_cap_trips_total",
 		"batched GEMMs that exceeded the packed-scratch cap and fell back")
+
+	epilogueFusedBias = obs.NewCounter("kernels_gemm_epilogue_fused_bias_total",
+		"GEMMs with a bias epilogue fused into the tile write-back")
+	epilogueFusedBiasGeLU = obs.NewCounter("kernels_gemm_epilogue_fused_bias_gelu_total",
+		"GEMMs with a bias+GeLU epilogue fused into the tile write-back")
+	epilogueFusedBiasResLN = obs.NewCounter("kernels_gemm_epilogue_fused_bias_res_ln_total",
+		"GEMMs with a bias+residual+LayerNorm epilogue fused into the write-back")
+	epilogueReferenceRuns = obs.NewCounter("kernels_gemm_epilogue_reference_total",
+		"GEMM epilogues applied as the unfused reference kernel sequence")
+
+	int8GEMMRuns = obs.NewCounter("kernels_gemm_int8_total",
+		"GEMMs executed by the int8 quantized engine")
+	int8PackCacheHits = obs.NewCounter("kernels_int8_pack_cache_hits_total",
+		"int8 weight-pack cache lookups served from the cached panels")
+	int8PackCacheMisses = obs.NewCounter("kernels_int8_pack_cache_misses_total",
+		"int8 weight-pack cache lookups with no usable entry")
+	int8PackCacheRebuilds = obs.NewCounter("kernels_int8_pack_cache_rebuilds_total",
+		"int8 weight-pack cache entries rebuilt because the parameter generation moved")
 )

@@ -649,3 +649,82 @@ func TestScaleMaskSoftmaxAttentionBadDimsPanics(t *testing.T) {
 	}()
 	ScaleMaskSoftmaxAttention(make([]float32, 8), make([]float32, 8), make([]float32, 3), 1, false, 1, 1, 2)
 }
+
+// refAddBias / refBiasGrad are the serial reference kernels the flattened
+// (AddBias) and column-banded (BiasGrad) implementations must match
+// bitwise: per-element adds are order-free, and BiasGrad's band sweep
+// keeps the per-column accumulation order i = 0..m-1.
+func refAddBias(x, bias []float32, m, n int) {
+	for i := 0; i < m; i++ {
+		row := x[i*n : (i+1)*n]
+		for j, b := range bias {
+			row[j] += b
+		}
+	}
+}
+
+func refBiasGrad(dBias, dY []float32, m, n int) {
+	for j := 0; j < n; j++ {
+		var s float32
+		for i := 0; i < m; i++ {
+			s += dY[i*n+j]
+		}
+		dBias[j] += s
+	}
+}
+
+func TestAddBiasBiasGradMatchReferenceBitwise(t *testing.T) {
+	r := tensor.NewRNG(77)
+	shapes := []struct{ m, n int }{
+		{1, 1}, {1, 257}, {2, 63}, {3, 64}, {5, 65}, {17, 19},
+		{1, 4096}, {2, 5000}, {64, 64}, {7, 768}, {128, 3},
+	}
+	for _, sh := range shapes {
+		for _, w := range []int{1, 2, 4, 7} {
+			old := SetMaxWorkers(w)
+			x := randSlice(r, sh.m*sh.n)
+			bias := randSlice(r, sh.n)
+			want := append([]float32(nil), x...)
+			refAddBias(want, bias, sh.m, sh.n)
+			AddBias(x, bias, sh.m, sh.n)
+			for i := range x {
+				if math.Float32bits(x[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("AddBias m=%d n=%d w=%d: elem %d = %v, want %v",
+						sh.m, sh.n, w, i, x[i], want[i])
+				}
+			}
+			dB := randSlice(r, sh.n)
+			wantB := append([]float32(nil), dB...)
+			refBiasGrad(wantB, x, sh.m, sh.n)
+			BiasGrad(dB, x, sh.m, sh.n)
+			for j := range dB {
+				if math.Float32bits(dB[j]) != math.Float32bits(wantB[j]) {
+					t.Fatalf("BiasGrad m=%d n=%d w=%d: col %d = %v, want %v",
+						sh.m, sh.n, w, j, dB[j], wantB[j])
+				}
+			}
+			SetMaxWorkers(old)
+		}
+	}
+}
+
+func TestAddBiasBiasGradZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts unreliable under -race")
+	}
+	r := tensor.NewRNG(78)
+	m, n := 64, 768
+	x := randSlice(r, m*n)
+	bias := randSlice(r, n)
+	dB := make([]float32, n)
+	old := SetMaxWorkers(1)
+	defer SetMaxWorkers(old)
+	AddBias(x, bias, m, n) // warm the state pools
+	BiasGrad(dB, x, m, n)
+	if avg := testing.AllocsPerRun(10, func() { AddBias(x, bias, m, n) }); avg != 0 {
+		t.Errorf("AddBias allocates %v per op in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(10, func() { BiasGrad(dB, x, m, n) }); avg != 0 {
+		t.Errorf("BiasGrad allocates %v per op in steady state, want 0", avg)
+	}
+}

@@ -61,6 +61,21 @@ func NewMultiHeadAttention(name string, dModel, heads int, dropP float32, rng *t
 // Forward runs attention over x: [B·n, dModel]. mask, if non-nil, is an
 // additive [B, n] key mask (0 for visible, large-negative for padding).
 func (a *MultiHeadAttention) Forward(ctx *Ctx, x *tensor.Tensor, b, n int, mask *tensor.Tensor) *tensor.Tensor {
+	return a.Wo.Forward(ctx, a.forwardCore(ctx, x, b, n, mask))
+}
+
+// ForwardFused is Forward with the output projection's Add&Norm tail
+// (bias, residual skip addition, LayerNorm) fused into the projection
+// GEMM's write-back. The caller (EncoderLayer) guarantees the block
+// dropout between projection and residual is inactive and precision is
+// full; Backward is unchanged — the fused call fills the same saved state.
+func (a *MultiHeadAttention) ForwardFused(ctx *Ctx, x *tensor.Tensor, b, n int, mask, skip *tensor.Tensor, ln *LayerNorm) *tensor.Tensor {
+	return a.Wo.ForwardBiasResidualLN(ctx, a.forwardCore(ctx, x, b, n, mask), skip, ln)
+}
+
+// forwardCore runs everything up to (not including) the output
+// projection, returning the merged head outputs [B·n, dModel].
+func (a *MultiHeadAttention) forwardCore(ctx *Ctx, x *tensor.Tensor, b, n int, mask *tensor.Tensor) *tensor.Tensor {
 	tokens, dim := mustRank2("MultiHeadAttention", x)
 	if tokens != b*n || dim != a.dModel {
 		panic(fmt.Sprintf("nn: attention input %v, want [%d, %d]", x.Shape(), b*n, a.dModel))
@@ -182,8 +197,7 @@ func (a *MultiHeadAttention) Forward(ctx *Ctx, x *tensor.Tensor, b, n int, mask 
 			kernels.MergeHeads(merged.Data(), ctxOut.Data(), b, n, a.heads, a.dHead)
 		})
 
-	// Output projection.
-	return a.Wo.Forward(ctx, merged)
+	return merged
 }
 
 // Backward propagates dY: [B·n, dModel] through the attention block and

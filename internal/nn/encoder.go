@@ -24,7 +24,19 @@ func NewFeedForward(name string, dModel, dFF int, rng *tensor.RNG) *FeedForward 
 
 // Forward computes FC2(GeLU(FC1(x))).
 func (f *FeedForward) Forward(ctx *Ctx, x *tensor.Tensor) *tensor.Tensor {
-	return f.FC2.Forward(ctx, f.Act.Forward(ctx, f.FC1.Forward(ctx, x)))
+	return f.FC2.Forward(ctx, f.forwardHidden(ctx, x))
+}
+
+// forwardHidden computes GeLU(FC1(x)), fusing bias+GeLU into the FC1 GEMM
+// write-back when numerically transparent. In mixed precision the legacy
+// sequence quantizes the pre-activation through f16 storage between the
+// two modules — a boundary fusion deliberately skips — so MP defers to
+// the unfused modules to keep the established numerics.
+func (f *FeedForward) forwardHidden(ctx *Ctx, x *tensor.Tensor) *tensor.Tensor {
+	if ctx.MixedPrecision {
+		return f.Act.Forward(ctx, f.FC1.Forward(ctx, x))
+	}
+	return f.FC1.ForwardBiasGeLU(ctx, x, f.Act)
 }
 
 // Backward propagates through FC2, GeLU, FC1.
@@ -64,15 +76,37 @@ func NewEncoderLayer(name string, dModel, heads, dFF int, dropP float32, rng *te
 // Forward runs the layer over x: [B·n, dModel] with an optional additive
 // [B, n] attention mask.
 func (e *EncoderLayer) Forward(ctx *Ctx, x *tensor.Tensor, b, n int, mask *tensor.Tensor) *tensor.Tensor {
-	attnOut := e.Attn.Forward(ctx, x, b, n, mask)
-	attnOut = e.AttnDrop.Forward(ctx, attnOut)
-	h := e.res.AddSkip(ctx, attnOut, x)
-	h = e.AttnLN.Forward(ctx, h)
+	var h *tensor.Tensor
+	if fuseResidualLN(ctx, e.AttnDrop) {
+		// The block dropout is inactive, so its module call is skipped
+		// entirely; clear any stale mask so its Backward stays an identity.
+		e.AttnDrop.mask = nil
+		h = e.Attn.ForwardFused(ctx, x, b, n, mask, x, e.AttnLN)
+	} else {
+		attnOut := e.Attn.Forward(ctx, x, b, n, mask)
+		attnOut = e.AttnDrop.Forward(ctx, attnOut)
+		h = e.res.AddSkip(ctx, attnOut, x)
+		h = e.AttnLN.Forward(ctx, h)
+	}
 
+	if fuseResidualLN(ctx, e.FFDrop) {
+		e.FFDrop.mask = nil
+		hidden := e.FF.forwardHidden(ctx, h)
+		return e.FF.FC2.ForwardBiasResidualLN(ctx, hidden, h, e.FFLN)
+	}
 	ffOut := e.FF.Forward(ctx, h)
 	ffOut = e.FFDrop.Forward(ctx, ffOut)
 	out := e.res.AddSkip(ctx, ffOut, h)
 	return e.FFLN.Forward(ctx, out)
+}
+
+// fuseResidualLN reports whether a sub-layer's Add&Norm tail can fuse
+// into its preceding projection GEMM: the block dropout sitting between
+// them must be inactive (eval, or drop probability zero) and precision
+// must be full — the legacy sequence's f16 storage boundaries are part of
+// the established MP numerics and fusion would skip them.
+func fuseResidualLN(ctx *Ctx, d *Dropout) bool {
+	return !ctx.MixedPrecision && (!ctx.Train || d.P == 0)
 }
 
 // Backward propagates through the layer. Residual connections split the

@@ -74,6 +74,15 @@ func (p *Param) Packed(transB bool, n, k int) *kernels.PackedB {
 	return p.packs.Get(transB, n, k, p.Value.Data(), p.gen.Load())
 }
 
+// PackedInt8 returns the cached int8 quantized packing of Value for use
+// as the B operand of kernels.GEMMInt8 (the frozen-weight inference
+// path). It shares the generation-counted cache with the f32 packs, so
+// an optimizer step invalidates both and the quantization always tracks
+// the live weights.
+func (p *Param) PackedInt8(transB bool, n, k int) *kernels.PackedBInt8 {
+	return p.packs.GetInt8(transB, n, k, p.Value.Data(), p.gen.Load())
+}
+
 // Ctx carries per-iteration execution state through forward and backward
 // passes: the profiler, the dropout RNG, the training flag, and whether
 // mixed-precision byte accounting is active.

@@ -3,7 +3,10 @@
 # per-shape ns/op, GFLOP/s, and allocs/op for the blocked, pre-packed
 # (GEMMPacked), naive, and batched (blocked vs per-matrix, Table 2b
 # attention shapes n x n x dHead and n x dHead x n at n in {128, 512})
-# paths. Uses only the go toolchain and awk (no external deps).
+# paths, plus the fused-epilogue FFN tail (unfused kernel chain vs
+# bias+GeLU / bias+residual+LayerNorm tile write-back) and the int8
+# quantized path against f32 pre-packed on the paper's weight-stationary
+# shapes. Uses only the go toolchain and awk (no external deps).
 #
 # Usage: scripts/bench_gemm.sh [benchtime]   (default 2x per benchmark)
 set -eu
@@ -14,7 +17,7 @@ OUT=BENCH_gemm.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run 'xxx' -bench 'GEMMPaperSizes|RealGEMM|RealAttentionBGEMM|Fig6GEMMIntensity' \
+go test -run 'xxx' -bench 'GEMMPaperSizes|GEMMInt8PaperSizes|RealGEMM|RealAttentionBGEMM|RealFFN|RealAddBias|RealBiasGrad|Fig6GEMMIntensity' \
 	-benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 awk '

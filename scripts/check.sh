@@ -28,15 +28,15 @@ echo "== loss-scaler cap + FP16 conformance"
 go test -run 'TestLossScaler' -count=1 ./internal/optim/
 go test -run 'TestF16' -count=1 ./internal/tensor/
 
-echo "== alloc guard (GEMM + metrics hot paths + nil profiler, zero allocs)"
-go test -run 'TestGEMMZeroAllocSteadyState' -count=1 ./internal/kernels/
+echo "== alloc guard (GEMM + fused epilogue + int8 + bias kernels + metrics + nil profiler, zero allocs)"
+go test -run 'TestGEMMZeroAllocSteadyState|TestGEMMPackedEpilogueZeroAlloc|TestGEMMInt8ZeroAlloc|TestAddBiasBiasGradZeroAlloc' -count=1 ./internal/kernels/
 go test -run 'TestMetricsZeroAlloc' -count=1 ./internal/obs/
 go test -run 'TestNilProfilerZeroAlloc' -count=1 ./internal/profile/
 
 echo "== debug server smoke (/metrics, /debug/vars, /debug/pprof/)"
 go test -run 'TestDebugServerSmoke' -count=1 ./internal/obs/
 
-echo "== bench smoke (GEMM paper shapes, 1 iteration)"
-go test -run 'xxx' -bench 'Fig6GEMMIntensity|GEMMPaperSizes' -benchtime 1x -benchmem . >/dev/null
+echo "== bench smoke (GEMM paper shapes + fused FFN tail + int8, 1 iteration)"
+go test -run 'xxx' -bench 'Fig6GEMMIntensity|GEMMPaperSizes|GEMMInt8PaperSizes|RealFFN' -benchtime 1x -benchmem . >/dev/null
 
 echo "check: OK"
