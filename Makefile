@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench-gemm fuzz clean
+.PHONY: all build test check bench-gemm bench-serve fuzz clean
 
 all: build
 
@@ -18,6 +18,10 @@ check:
 # Run the GEMM benchmark suite and emit BENCH_gemm.json.
 bench-gemm:
 	sh scripts/bench_gemm.sh
+
+# Run the serving latency-vs-throughput frontier and emit BENCH_serve.json.
+bench-serve:
+	sh scripts/bench_serve.sh
 
 # Short fuzz pass over the GEMM and softmax kernels.
 fuzz:

@@ -48,6 +48,7 @@ import (
 	"demystbert/internal/optim"
 	"demystbert/internal/profile"
 	"demystbert/internal/report"
+	"demystbert/internal/runutil"
 	"demystbert/internal/tensor"
 )
 
@@ -88,13 +89,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// One LIFO cleanup list shared by normal return and SIGINT/SIGTERM,
+	// so an interrupt flushes the metrics JSONL and drains the debug
+	// server instead of truncating them mid-write.
+	sd := runutil.Install(stderr)
+	defer sd.Drain()
+
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr, obs.Default)
 		if err != nil {
 			fmt.Fprintf(stderr, "bertchar: %v\n", err)
 			return 2
 		}
-		defer srv.Close()
+		sd.Defer("debug server", func() { srv.ShutdownTimeout(2 * time.Second) })
 		fmt.Fprintf(stdout, "debug server: http://%s/metrics\n", srv.Addr)
 	}
 
@@ -120,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *steps > 0 {
-		if err := runLive(stdout, *steps, *metricsPath, *mp, dev); err != nil {
+		if err := runLive(stdout, sd, *steps, *metricsPath, *mp, dev); err != nil {
 			fmt.Fprintf(stderr, "bertchar: %v\n", err)
 			return 2
 		}
@@ -170,7 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // emits one telemetry record per step: the live counterpart of the
 // analytical characterization, sharing its JSONL schema and the device
 // roofline the achieved rates are compared against.
-func runLive(stdout io.Writer, steps int, metricsPath string, mp bool, dev demystbert.Device) error {
+func runLive(stdout io.Writer, sd *runutil.Shutdown, steps int, metricsPath string, mp bool, dev demystbert.Device) error {
 	cfg := model.Config{
 		Vocab:     1000,
 		MaxPos:    32,
@@ -192,7 +199,7 @@ func runLive(stdout io.Writer, steps int, metricsPath string, mp bool, dev demys
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		sd.Defer("metrics jsonl", func() { f.Close() })
 		out = f
 	}
 	emitter := obs.NewStepEmitter(out, dev.Peaks())

@@ -30,6 +30,7 @@ import (
 	"demystbert/internal/opgraph"
 	"demystbert/internal/perfmodel"
 	"demystbert/internal/report"
+	"demystbert/internal/runutil"
 )
 
 func main() {
@@ -53,13 +54,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Signal-safe cleanup: SIGINT/SIGTERM flushes the metrics file and
+	// drains the debug server instead of truncating mid-write.
+	sd := runutil.Install(stderr)
+	defer sd.Drain()
+
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr, obs.Default)
 		if err != nil {
 			fmt.Fprintf(stderr, "bertdist: %v\n", err)
 			return 2
 		}
-		defer srv.Close()
+		sd.Defer("debug server", func() { srv.ShutdownTimeout(2 * time.Second) })
 		fmt.Fprintf(stdout, "debug server: http://%s/metrics\n", srv.Addr)
 	}
 
@@ -77,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "bertdist: %v\n", err)
 			return 2
 		}
-		defer f.Close()
+		sd.Defer("metrics jsonl", func() { f.Close() })
 		r := perfmodel.Run(opgraph.Build(w), dev)
 		rec := report.StepRecordFromResult(1, r)
 		if err := obs.NewStepEmitter(f, dev.Peaks()).Emit(rec); err != nil {

@@ -31,6 +31,7 @@ import (
 	"demystbert/internal/obs"
 	"demystbert/internal/optim"
 	"demystbert/internal/profile"
+	"demystbert/internal/runutil"
 	"demystbert/internal/tensor"
 )
 
@@ -62,13 +63,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Ctrl-C used to truncate the metrics JSONL and Chrome trace
+	// mid-write; every exit path (normal return or SIGINT/SIGTERM) now
+	// funnels through one LIFO cleanup list.
+	sd := runutil.Install(stderr)
+	defer sd.Drain()
+
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr, obs.Default)
 		if err != nil {
 			fmt.Fprintf(stderr, "bertprof: %v\n", err)
 			return 2
 		}
-		defer srv.Close()
+		sd.Defer("debug server", func() { srv.ShutdownTimeout(2 * time.Second) })
 		fmt.Fprintf(stdout, "debug server: http://%s/metrics\n", srv.Addr)
 	}
 	var emitter *obs.StepEmitter
@@ -78,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "bertprof: %v\n", err)
 			return 2
 		}
-		defer f.Close()
+		sd.Defer("metrics jsonl", func() { f.Close() })
 		emitter = obs.NewStepEmitter(f, device.MI100().Peaks())
 	}
 
@@ -107,6 +114,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	gen := data.NewGenerator(cfg.Vocab, 0.15, *seed+1)
 	ctx := &nn.Ctx{Prof: profile.New(), RNG: tensor.NewRNG(*seed + 2), Train: true, MixedPrecision: *mp}
+
+	// The Chrome trace is written through one idempotent closure shared
+	// by the normal exit path and the signal handler, so an interrupted
+	// run leaves a loadable (partial) trace instead of nothing.
+	writeTrace := func() error { return nil }
+	if *tracePath != "" {
+		traceDone := false
+		writeTrace = func() error {
+			if traceDone {
+				return nil
+			}
+			traceDone = true
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "bertprof: %v\n", err)
+				return err
+			}
+			defer f.Close()
+			if err := ctx.Prof.WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(stderr, "bertprof: writing trace: %v\n", err)
+				return err
+			}
+			fmt.Fprintf(stdout, "Chrome trace written to %s (open in chrome://tracing or Perfetto)\n", *tracePath)
+			return nil
+		}
+		sd.Defer("chrome trace", func() { writeTrace() })
+	}
 	opt := optim.NewLAMB(0.01)
 	scaler := optim.NewDynamicLossScaler()
 
@@ -173,18 +207,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "loss scaler skipped %d step(s); scale now %.0f\n", scaler.Skipped, scaler.Scale)
 	}
 
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(stderr, "bertprof: %v\n", err)
-			return 2
-		}
-		defer f.Close()
-		if err := ctx.Prof.WriteChromeTrace(f); err != nil {
-			fmt.Fprintf(stderr, "bertprof: writing trace: %v\n", err)
-			return 2
-		}
-		fmt.Fprintf(stdout, "Chrome trace written to %s (open in chrome://tracing or Perfetto)\n", *tracePath)
+	if err := writeTrace(); err != nil {
+		return 2
 	}
 	return 0
 }

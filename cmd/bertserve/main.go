@@ -1,0 +1,269 @@
+// Command bertserve runs the frozen-weight inference engine behind an
+// HTTP front-end with continuous batching — the serving-side counterpart
+// of bertprof's training characterization. It has three modes:
+//
+// Server (default): build the model, pre-pack every weight for the
+// selected GEMM path, and serve POST /v1/mlm (plus /healthz, /metrics,
+// /debug/pprof) until SIGINT/SIGTERM, which drains gracefully: HTTP
+// stops accepting, in-flight requests finish, every admitted request is
+// answered.
+//
+//	bertserve -addr :8080 [-layers N] [-dmodel D] [-heads H] [-dff F]
+//	          [-vocab V] [-maxpos P] [-gemm-path fused] [-max-batch 32]
+//	          [-max-delay 2ms] [-buckets 8,16,32] [-queue-cap 4096]
+//
+// Load generator: drive an already-running server (or error out) with
+// deterministic synthetic traffic on an open-loop clock and print the
+// measured latency distribution.
+//
+//	bertserve -loadgen -target http://host:8080 -rate 1000 -duration 10s
+//
+// Bench: run the full in-process latency-vs-throughput frontier across
+// GEMM paths plus the serial baseline and accuracy check, and write
+// BENCH_serve.json.
+//
+//	bertserve -bench [-bench-out BENCH_serve.json] [-rates 250,500,1000]
+//	          [-paths blocked,fused,int8] [-duration 5s]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"demystbert/internal/kernels"
+	"demystbert/internal/model"
+	"demystbert/internal/runutil"
+	"demystbert/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bertserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	// Model geometry (defaults are the reduced-scale config every other
+	// binary uses; serving cares about MaxPos ≥ the largest bucket).
+	layers := fs.Int("layers", 2, "Transformer layer count (N)")
+	dmodel := fs.Int("dmodel", 64, "hidden dimension (d_model)")
+	heads := fs.Int("heads", 4, "attention heads (h)")
+	dff := fs.Int("dff", 256, "intermediate dimension (d_ff)")
+	vocab := fs.Int("vocab", 1000, "vocabulary size")
+	maxpos := fs.Int("maxpos", 64, "maximum sequence length (position table size)")
+	seed := fs.Uint64("seed", 42, "deterministic weight seed")
+	gemmPath := fs.String("gemm-path", "fused", "GEMM path: auto|naive|blocked|packed|batched|fused|int8")
+
+	// Scheduler policy.
+	addr := fs.String("addr", "localhost:8080", "serve address (\":0\" picks a free port)")
+	maxBatch := fs.Int("max-batch", 32, "max requests per dynamic batch")
+	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "batch coalescing deadline (starvation bound)")
+	buckets := fs.String("buckets", "", "comma-separated length buckets (default: powers of two up to maxpos)")
+	queueCap := fs.Int("queue-cap", 4096, "admission queue capacity")
+
+	// Load generator.
+	loadgen := fs.Bool("loadgen", false, "run as load generator against -target instead of serving")
+	target := fs.String("target", "", "server URL for -loadgen (e.g. http://localhost:8080)")
+	rate := fs.Float64("rate", 1000, "offered load, requests/second")
+	duration := fs.Duration("duration", 5*time.Second, "load duration per measurement")
+	minLen := fs.Int("min-len", 5, "minimum synthetic request length")
+	maxLen := fs.Int("max-len", 16, "maximum synthetic request length")
+	maskFrac := fs.Float64("mask-frac", 0.15, "fraction of positions masked")
+
+	// Frontier bench.
+	bench := fs.Bool("bench", false, "run the in-process latency-vs-throughput frontier and exit")
+	benchOut := fs.String("bench-out", "BENCH_serve.json", "frontier report output path")
+	paths := fs.String("paths", "blocked,fused,int8", "GEMM paths to sweep in -bench")
+	rates := fs.String("rates", "250,500,1000,2000", "offered rates to sweep in -bench")
+	satRate := fs.Float64("saturation-rate", 4000, "capacity-measurement rate for -bench")
+
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	mcfg := model.Config{
+		Vocab: *vocab, MaxPos: *maxpos, NumLayers: *layers,
+		DModel: *dmodel, Heads: *heads, DFF: *dff,
+		FusedAttention: true,
+	}
+	path, err := kernels.ParseGEMMPath(*gemmPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "bertserve: %v\n", err)
+		return 2
+	}
+	bkts, err := parseInts(*buckets)
+	if err != nil {
+		fmt.Fprintf(stderr, "bertserve: -buckets: %v\n", err)
+		return 2
+	}
+	ecfg := serve.Config{
+		Model: mcfg, Seed: *seed, GEMMPath: path,
+		MaxBatch: *maxBatch, MaxDelay: *maxDelay,
+		Buckets: bkts, QueueCap: *queueCap,
+	}
+	spec := serve.LoadSpec{
+		Rate: *rate, Duration: *duration,
+		MinLen: *minLen, MaxLen: *maxLen,
+		MaskFrac: *maskFrac, Vocab: *vocab, Seed: *seed,
+	}
+
+	switch {
+	case *bench:
+		return runBench(ecfg, spec, *paths, *rates, *satRate, *benchOut, stdout, stderr)
+	case *loadgen:
+		return runLoadgen(spec, *target, stdout, stderr)
+	default:
+		return runServer(ecfg, *addr, stdout, stderr)
+	}
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains: HTTP first (stop
+// accepting, finish in-flight request bodies), engine second (answer
+// everything admitted).
+func runServer(ecfg serve.Config, addr string, stdout, stderr io.Writer) int {
+	sd := runutil.Install(stderr)
+	defer sd.Drain()
+
+	engine, srv, err := serve.Start(ecfg, addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "bertserve: %v\n", err)
+		return 1
+	}
+	done := make(chan struct{})
+	sd.Defer("drain engine", func() { engine.Close(); close(done) })
+	sd.Defer("drain http", func() { srv.ShutdownTimeout(5 * time.Second) })
+
+	eff := engine.Config()
+	fmt.Fprintf(stdout, "bertserve: serving on http://%s/v1/mlm (gemm=%s, buckets=%v, max_batch=%d, max_delay=%v, warmed %d packs)\n",
+		srv.Addr, eff.GEMMPath, eff.Buckets, eff.MaxBatch, eff.MaxDelay, engine.WarmedPacks)
+	<-done // signal handler drains and exits the process
+	return 0
+}
+
+// runLoadgen drives an external server over HTTP with open-loop load.
+func runLoadgen(spec serve.LoadSpec, target string, stdout, stderr io.Writer) int {
+	if target == "" {
+		fmt.Fprintf(stderr, "bertserve: -loadgen requires -target URL\n")
+		return 2
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	res := serve.RunLoad(spec, httpTarget(client, target))
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(res)
+	if res.OK == 0 {
+		fmt.Fprintf(stderr, "bertserve: no request succeeded against %s\n", target)
+		return 1
+	}
+	return 0
+}
+
+// httpTarget adapts a serving URL to the loadgen Target signature,
+// mapping 429 back to ErrOverloaded so rejection accounting matches
+// in-process runs.
+func httpTarget(client *http.Client, base string) serve.Target {
+	url := strings.TrimSuffix(base, "/") + "/v1/mlm"
+	return func(req *serve.Request) (*serve.Response, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		hr, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer hr.Body.Close()
+		if hr.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, hr.Body)
+			return nil, serve.ErrOverloaded
+		}
+		if hr.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(hr.Body)
+			return nil, fmt.Errorf("HTTP %d: %s", hr.StatusCode, bytes.TrimSpace(b))
+		}
+		var resp serve.Response
+		if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+}
+
+// runBench runs the in-process frontier and writes BENCH_serve.json.
+func runBench(ecfg serve.Config, spec serve.LoadSpec, paths, rates string, satRate float64, out string, stdout, stderr io.Writer) int {
+	rateList, err := parseFloats(rates)
+	if err != nil {
+		fmt.Fprintf(stderr, "bertserve: -rates: %v\n", err)
+		return 2
+	}
+	bcfg := serve.BenchConfig{
+		Model:          ecfg,
+		Spec:           spec,
+		Paths:          splitNonEmpty(paths),
+		Rates:          rateList,
+		SaturationRate: satRate,
+	}
+	rep, err := serve.RunBench(bcfg, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "bertserve: bench: %v\n", err)
+		return 1
+	}
+	// Serving metrics accumulate across the sweep; snapshot them into
+	// the report sidecar via the debug mux if someone is watching, but
+	// the artifact itself is self-contained.
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "bertserve: %v\n", err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintf(stderr, "bertserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", out)
+	return 0
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitNonEmpty(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitNonEmpty(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"demystbert/internal/serve"
+)
+
+func runCmd(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad gemm path":        {"-gemm-path", "nope"},
+		"bad buckets":          {"-buckets", "8,x"},
+		"loadgen needs target": {"-loadgen"},
+		"bad rates":            {"-bench", "-rates", "1,zz"},
+	} {
+		if _, _, code := runCmd(t, args...); code != 2 {
+			t.Errorf("%s: exit code %d, want 2", name, code)
+		}
+	}
+}
+
+// TestBenchWritesReport runs a minuscule frontier (one path, one rate,
+// tiny durations) end to end and checks the BENCH_serve.json schema.
+func TestBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	stdout, stderr, code := runCmd(t,
+		"-bench", "-bench-out", out,
+		"-paths", "fused", "-rates", "200",
+		"-saturation-rate", "600", "-duration", "300ms")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Frontier) != 2 { // one sweep rate + the saturation point
+		t.Errorf("frontier has %d points, want 2", len(rep.Frontier))
+	}
+	if rep.SerialBaseline.LoadResult == nil || rep.SerialBaseline.OK == 0 {
+		t.Error("serial baseline missing or empty")
+	}
+	if !rep.EqualAccuracy {
+		t.Error("batched and serial predictions diverged")
+	}
+	for _, pt := range rep.Frontier {
+		if pt.PackMisses != 0 {
+			t.Errorf("path %s took %d steady-state pack misses", pt.Path, pt.PackMisses)
+		}
+	}
+}
+
+// TestLoadgenAgainstLiveServer starts a real server on an ephemeral
+// port and drives it over HTTP with the loadgen Target adapter.
+func TestLoadgenAgainstLiveServer(t *testing.T) {
+	ecfg := serve.Config{}
+	ecfg.Model.Vocab, ecfg.Model.MaxPos = 1000, 64
+	ecfg.Model.NumLayers, ecfg.Model.DModel, ecfg.Model.Heads, ecfg.Model.DFF = 2, 64, 4, 256
+	ecfg.Model.FusedAttention = true
+	ecfg.Seed = 42
+	engine, srv, err := serve.Start(ecfg, "localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	defer srv.Close()
+
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-loadgen", "-target", "http://" + srv.Addr,
+		"-rate", "100", "-duration", "300ms",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var res serve.LoadResult
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("loadgen output not JSON: %v\n%s", err, out.String())
+	}
+	if res.OK == 0 || res.Failed > 0 {
+		t.Errorf("loadgen result ok=%d failed=%d: %+v", res.OK, res.Failed, res)
+	}
+}

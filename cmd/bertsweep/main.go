@@ -28,6 +28,7 @@ import (
 	"demystbert"
 	"demystbert/internal/obs"
 	"demystbert/internal/report"
+	"demystbert/internal/runutil"
 )
 
 func main() {
@@ -46,13 +47,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Signal-safe cleanup: SIGINT/SIGTERM flushes the metrics file and
+	// drains the debug server instead of truncating mid-write.
+	sd := runutil.Install(stderr)
+	defer sd.Drain()
+
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr, obs.Default)
 		if err != nil {
 			fmt.Fprintf(stderr, "bertsweep: %v\n", err)
 			return 2
 		}
-		defer srv.Close()
+		sd.Defer("debug server", func() { srv.ShutdownTimeout(2 * time.Second) })
 		fmt.Fprintf(stdout, "debug server: http://%s/metrics\n", srv.Addr)
 	}
 
@@ -69,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "bertsweep: %v\n", err)
 			return 2
 		}
-		defer f.Close()
+		sd.Defer("metrics jsonl", func() { f.Close() })
 		emitter = obs.NewStepEmitter(f, dev.Peaks())
 	}
 	emit := func(point int, r *demystbert.Result) bool {

@@ -1,6 +1,9 @@
 package kernels
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // GEMMPath selects which implementation the GEMM entry points route to.
 //
@@ -66,6 +69,18 @@ func (p GEMMPath) String() string {
 		return "int8"
 	}
 	return "invalid"
+}
+
+// ParseGEMMPath maps a path name (as produced by String) back to its
+// GEMMPath — the flag-parsing inverse for binaries that take a
+// -gemm-path argument.
+func ParseGEMMPath(s string) (GEMMPath, error) {
+	for p := GEMMPathAuto; p <= GEMMPathInt8; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return GEMMPathAuto, fmt.Errorf("kernels: unknown GEMM path %q (want auto|naive|blocked|packed|batched|fused|int8)", s)
 }
 
 // gemmPath is the active path override; reads are a single atomic load on

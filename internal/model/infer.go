@@ -1,0 +1,142 @@
+package model
+
+import (
+	"fmt"
+
+	"demystbert/internal/data"
+	"demystbert/internal/kernels"
+	"demystbert/internal/nn"
+	"demystbert/internal/profile"
+	"demystbert/internal/tensor"
+)
+
+// This file is the frozen-weight inference surface of the model: a
+// forward-only encoder pass plus an MLM head applied to just the
+// positions a serving request asks about. It is the machinery behind
+// PredictMasked restructured for serving: no loss, no NSP head, no
+// full-vocabulary softmax over every position — the vocabulary
+// projection (the single largest GEMM in the network) runs over the
+// handful of masked rows instead of all B·n of them.
+
+// EncodeEval runs the embedding and encoder stack in evaluation mode
+// (dropout inactive; the fused Add&Norm epilogue path engages at full
+// precision) and returns the sequence output [B·n, dModel]. The
+// caller's ctx.Train flag is restored on return.
+func (m *BERT) EncodeEval(ctx *nn.Ctx, b *data.Batch) *tensor.Tensor {
+	prevTrain := ctx.Train
+	ctx.Train = false
+	defer func() { ctx.Train = prevTrain }()
+
+	h := m.Embed.Forward(ctx, b.Tokens, b.Segments, b.B, b.N)
+	for _, layer := range m.Layers {
+		h = layer.Forward(ctx, h, b.B, b.N, b.Mask)
+	}
+	return h
+}
+
+// PredictMaskedAt runs a forward-only inference pass and returns, for
+// every requested (sequence, position) pair, the argmax token id of the
+// MLM head. positions[s] lists the query positions of sequence s (the
+// serving scheduler puts each request's [MASK] locations here); the
+// result is shaped exactly like positions. Softmax is monotonic, so the
+// argmax is taken over raw logits and no probability pass runs at all.
+func (m *BERT) PredictMaskedAt(ctx *nn.Ctx, b *data.Batch, positions [][]int) [][]int {
+	if len(positions) != b.B {
+		panic(fmt.Sprintf("model: PredictMaskedAt got positions for %d sequences, batch has %d", len(positions), b.B))
+	}
+	seq := m.EncodeEval(ctx, b)
+
+	total := 0
+	for s, ps := range positions {
+		for _, p := range ps {
+			if p < 0 || p >= b.N {
+				panic(fmt.Sprintf("model: PredictMaskedAt position %d of sequence %d outside [0, %d)", p, s, b.N))
+			}
+		}
+		total += len(ps)
+	}
+	out := make([][]int, b.B)
+	if total == 0 {
+		return out
+	}
+
+	// Gather just the queried rows; the whole MLM head then costs
+	// O(total · vocab) instead of O(B·n · vocab).
+	prevTrain := ctx.Train
+	ctx.Train = false
+	defer func() { ctx.Train = prevTrain }()
+	d := m.Config.DModel
+	gathered := tensor.New(total, d)
+	es := ctx.ElemSize()
+	ctx.Prof.Time("infer_gather", profile.CatOutput, profile.Forward,
+		0, kernels.EWBytes(total*d, 1, 1, es), func() {
+			row := 0
+			for s, ps := range positions {
+				for _, p := range ps {
+					copy(gathered.Row(row), seq.Row(s*b.N+p))
+					row++
+				}
+			}
+		})
+
+	var x *tensor.Tensor
+	if ctx.MixedPrecision {
+		x = m.MLMAct.Forward(ctx, m.MLMDense.Forward(ctx, gathered))
+	} else {
+		x = m.MLMDense.ForwardBiasGeLU(ctx, gathered, m.MLMAct)
+	}
+	x = m.MLMLN.Forward(ctx, x)
+	logits := m.MLMDecoder.Forward(ctx, x)
+
+	v := m.Config.Vocab
+	row := 0
+	ctx.Prof.Time("infer_argmax", profile.CatOutput, profile.Forward,
+		kernels.EWFLOPs(total*v, 1), kernels.EWBytes(total*v, 1, 0, es), func() {
+			ld := logits.Data()
+			for s, ps := range positions {
+				if len(ps) == 0 {
+					continue
+				}
+				out[s] = make([]int, len(ps))
+				for i := range ps {
+					r := ld[row*v : (row+1)*v]
+					best := 0
+					for j, lv := range r {
+						if lv > r[best] {
+							best = j
+						}
+					}
+					out[s][i] = best
+					row++
+				}
+			}
+		})
+	return out
+}
+
+// WarmupInference pre-packs every weight the inference path consults —
+// the Q/K/V/O projections and both FC layers of each encoder layer, the
+// MLM dense layer, and the (embedding-tied) vocabulary decoder — for
+// the GEMM engine the active path routes to. Serving calls this once at
+// load, after SetGEMMPath, so steady-state traffic never takes a
+// pack-cache miss: frozen weights never bump their generation, which is
+// exactly the 100% reuse regime the pack cache was designed around.
+// Returns the number of packs built.
+func (m *BERT) WarmupInference() int {
+	warmed := 0
+	warm := func(l *nn.Linear) {
+		l.WarmPack()
+		warmed++
+	}
+	for _, layer := range m.Layers {
+		warm(layer.Attn.Wq)
+		warm(layer.Attn.Wk)
+		warm(layer.Attn.Wv)
+		warm(layer.Attn.Wo)
+		warm(layer.FF.FC1)
+		warm(layer.FF.FC2)
+	}
+	warm(m.MLMDense)
+	warm(m.MLMDecoder)
+	return warmed
+}

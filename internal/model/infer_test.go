@@ -1,0 +1,187 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"demystbert/internal/data"
+	"demystbert/internal/kernels"
+	"demystbert/internal/nn"
+	"demystbert/internal/tensor"
+)
+
+func inferCtx() *nn.Ctx { return &nn.Ctx{Train: false} }
+
+// mixedBatch builds a padded mixed-length batch of B sequences (lengths
+// lens, padded to n) with the serving-style additive key mask, plus the
+// per-sequence mask positions PredictMaskedAt is queried at. Each
+// sequence is CLS + words with a couple of [MASK]s.
+func mixedBatch(t *testing.T, cfg Config, n int, lens []int, seed uint64) (*data.Batch, [][]int) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	B := len(lens)
+	b := &data.Batch{
+		B:      B,
+		N:      n,
+		Tokens: make([]int, B*n),
+		// Segments stay zero; pad slots stay PadID.
+		Segments: make([]int, B*n),
+		Mask:     tensor.New(B, n),
+	}
+	positions := make([][]int, B)
+	for s, ln := range lens {
+		if ln > n {
+			t.Fatalf("length %d > bucket %d", ln, n)
+		}
+		base := s * n
+		b.Tokens[base] = data.ClsID
+		for i := 1; i < ln; i++ {
+			b.Tokens[base+i] = data.FirstWordID + rng.Intn(cfg.Vocab-data.FirstWordID)
+		}
+		// Two masks per sequence (one for length-2 sequences).
+		b.Tokens[base+1] = data.MaskID
+		positions[s] = []int{1}
+		if ln > 3 {
+			b.Tokens[base+ln-1] = data.MaskID
+			positions[s] = append(positions[s], ln-1)
+		}
+		for i := ln; i < n; i++ {
+			b.Mask.Set(-1e9, s, i)
+		}
+	}
+	return b, positions
+}
+
+// serialBatch rebuilds sequence s of a padded batch at its natural
+// length (no padding, no mask).
+func serialBatch(b *data.Batch, s, ln int) *data.Batch {
+	sb := &data.Batch{B: 1, N: ln, Tokens: make([]int, ln), Segments: make([]int, ln)}
+	copy(sb.Tokens, b.Tokens[s*b.N:s*b.N+ln])
+	copy(sb.Segments, b.Segments[s*b.N:s*b.N+ln])
+	return sb
+}
+
+// TestPredictMaskedAtBucketedMatchesSerial is the serving-correctness
+// keystone: a mixed-length batch padded to one bucket with key masks
+// must predict exactly the tokens each request gets when run alone at
+// its natural length, and the encoder outputs of real positions must
+// agree numerically.
+func TestPredictMaskedAtBucketedMatchesSerial(t *testing.T) {
+	cfg := Tiny()
+	cfg.FusedAttention = true
+	m, err := New(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lens := []int{16, 9, 5, 12}
+	batch, positions := mixedBatch(t, cfg, 16, lens, 99)
+
+	batchSeq := m.EncodeEval(inferCtx(), batch)
+	batchPreds := m.PredictMaskedAt(inferCtx(), batch, positions)
+
+	for s, ln := range lens {
+		sb := serialBatch(batch, s, ln)
+		serialSeq := m.EncodeEval(inferCtx(), sb)
+		for i := 0; i < ln; i++ {
+			br, sr := batchSeq.Row(s*batch.N+i), serialSeq.Row(i)
+			for j := range sr {
+				if diff := math.Abs(float64(br[j] - sr[j])); diff > 1e-4 {
+					t.Fatalf("seq %d pos %d dim %d: padded %g vs serial %g", s, i, j, br[j], sr[j])
+				}
+			}
+		}
+		serialPreds := m.PredictMaskedAt(inferCtx(), sb, [][]int{positions[s]})
+		for i := range positions[s] {
+			if batchPreds[s][i] != serialPreds[0][i] {
+				t.Errorf("seq %d mask %d: batched predicts %d, serial predicts %d", s, i, batchPreds[s][i], serialPreds[0][i])
+			}
+		}
+	}
+}
+
+// TestPredictMaskedAtAgreesWithPredictMasked: the serving entry point
+// and the existing training-side inference API must agree on a full
+// (unpadded) batch when queried at the same positions.
+func TestPredictMaskedAtAgreesWithPredictMasked(t *testing.T) {
+	cfg := Tiny()
+	cfg.FusedAttention = true
+	m, err := New(cfg, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const B, n = 2, 16
+	rng := tensor.NewRNG(5)
+	b := &data.Batch{
+		B: B, N: n,
+		Tokens:     make([]int, B*n),
+		Segments:   make([]int, B*n),
+		MLMTargets: make([]int, B*n),
+		NSPLabels:  make([]int, B), // PredictMasked runs the full pretrain forward
+	}
+	positions := make([][]int, B)
+	for s := 0; s < B; s++ {
+		base := s * n
+		b.Tokens[base] = data.ClsID
+		for i := 1; i < n; i++ {
+			b.Tokens[base+i] = data.FirstWordID + rng.Intn(cfg.Vocab-data.FirstWordID)
+		}
+		for i := range b.MLMTargets[base : base+n] {
+			b.MLMTargets[base+i] = kernels.IgnoreIndex
+		}
+		for _, p := range []int{2, 7, n - 1} {
+			b.Tokens[base+p] = data.MaskID
+			b.MLMTargets[base+p] = data.FirstWordID // any real target; only position matters
+			positions[s] = append(positions[s], p)
+		}
+	}
+
+	got := m.PredictMaskedAt(inferCtx(), b, positions)
+	want := m.PredictMasked(inferCtx(), b)
+	for s := range positions {
+		for i, p := range positions[s] {
+			if w := want[s*n+p]; got[s][i] != w {
+				t.Errorf("seq %d pos %d: PredictMaskedAt %d, PredictMasked %d", s, p, got[s][i], w)
+			}
+		}
+	}
+}
+
+// TestPredictMaskedAtEmptyPositions: sequences with no queried
+// positions cost no head work and return empty rows.
+func TestPredictMaskedAtEmptyPositions(t *testing.T) {
+	cfg := Tiny()
+	m, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, _ := mixedBatch(t, cfg, 8, []int{5, 7}, 1)
+	out := m.PredictMaskedAt(inferCtx(), batch, [][]int{nil, nil})
+	if len(out) != 2 || out[0] != nil || out[1] != nil {
+		t.Fatalf("want two empty rows, got %v", out)
+	}
+}
+
+// TestPredictMaskedAtValidation: malformed queries panic loudly instead
+// of reading out-of-range rows.
+func TestPredictMaskedAtValidation(t *testing.T) {
+	cfg := Tiny()
+	m, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, _ := mixedBatch(t, cfg, 8, []int{5}, 1)
+	for name, positions := range map[string][][]int{
+		"wrong sequence count": {{1}, {1}},
+		"position past bucket": {{8}},
+		"negative position":    {{-1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			m.PredictMaskedAt(inferCtx(), batch, positions)
+		}()
+	}
+}

@@ -199,6 +199,20 @@ func (l *Linear) Backward(ctx *Ctx, dY *tensor.Tensor) *tensor.Tensor {
 	return dX
 }
 
+// WarmPack builds the forward-orientation weight pack ahead of use —
+// the serving warmup that turns every steady-state pack-cache lookup
+// into a hit. It packs for the engine the active GEMM path will consult
+// (int8 quantized pack under GEMMPathInt8, f32 micro-panels otherwise),
+// so call it after SetGEMMPath. Frozen weights never bump their
+// generation, so a warmed pack stays valid for the life of the process.
+func (l *Linear) WarmPack() {
+	if kernels.CurrentGEMMPath() == kernels.GEMMPathInt8 {
+		l.W.PackedInt8(true, l.out, l.in)
+		return
+	}
+	l.W.Packed(true, l.out, l.in)
+}
+
 // Params returns the weight and bias parameters.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -9,11 +10,14 @@ import (
 	"time"
 )
 
-// DebugServer is the in-process observability endpoint: Prometheus-text
-// metrics, Go expvar, and net/http/pprof profiling on one listener. It
-// is the live counterpart of rocProf's offline timelines — attachable
-// to any running binary via the -debug-addr flag.
-type DebugServer struct {
+// Server is a lifecycle-managed HTTP listener shared by the debug
+// endpoint and the serving front-end: it binds synchronously (so the
+// address is immediately curl-able), serves in the background, and — the
+// part http.Server.Close gets wrong — can drain gracefully, letting
+// in-flight requests finish instead of killing them mid-body. A scrape
+// of /metrics or a served inference request that raced a shutdown used
+// to see a truncated response; Shutdown fixes that.
+type Server struct {
 	// Addr is the address actually bound (useful when the requested
 	// port was 0).
 	Addr string
@@ -21,6 +25,10 @@ type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
 }
+
+// DebugServer is the historical name of Server, kept so call sites that
+// only ever serve the debug mux read naturally.
+type DebugServer = Server
 
 // NewDebugMux returns the debug routing table serving reg:
 //
@@ -42,20 +50,19 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 	return mux
 }
 
-// StartDebugServer binds addr (e.g. "localhost:6060", or ":0" for an
-// ephemeral port) and serves the debug mux for reg until Close. It
-// returns once the listener is bound, so /metrics is immediately
-// curl-able.
-func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+// StartServer binds addr (e.g. "localhost:6060", or ":0" for an
+// ephemeral port) and serves handler until Shutdown or Close. It
+// returns once the listener is bound.
+func StartServer(addr string, handler http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+		return nil, fmt.Errorf("obs: http server listen %s: %w", addr, err)
 	}
-	s := &DebugServer{
+	s := &Server{
 		Addr: ln.Addr().String(),
 		ln:   ln,
 		srv: &http.Server{
-			Handler:           NewDebugMux(reg),
+			Handler:           handler,
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
@@ -63,8 +70,40 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	return s, nil
 }
 
-// Close stops the listener and any in-flight handlers.
-func (s *DebugServer) Close() error {
+// StartDebugServer starts the in-process observability endpoint:
+// Prometheus-text metrics, Go expvar, and net/http/pprof profiling on
+// one listener — the live counterpart of rocProf's offline timelines,
+// attachable to any running binary via the -debug-addr flag.
+func StartDebugServer(addr string, reg *Registry) (*Server, error) {
+	return StartServer(addr, NewDebugMux(reg))
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// handlers to complete, up to ctx's deadline. A scrape or inference
+// request that is mid-response finishes its body; only after the drain
+// (or the deadline) does the listener die. Returns ctx.Err() when the
+// deadline expired with handlers still running.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// ShutdownTimeout is Shutdown with a plain timeout instead of a caller
+// context — the shape every cmd binary's signal handler wants.
+func (s *Server) ShutdownTimeout(d time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// Close stops the listener and any in-flight handlers immediately.
+// Prefer Shutdown; Close is the hard-stop escape hatch.
+func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}

@@ -1,0 +1,108 @@
+// Package runutil provides the shared process-lifecycle plumbing of the
+// cmd binaries: signal-driven graceful shutdown. The binaries hold
+// partially-written telemetry sinks while they run — a metrics JSONL
+// stream, a Chrome trace, a debug HTTP listener, a serving scheduler —
+// and a bare Ctrl-C used to kill the process with those sinks truncated
+// mid-write. A Shutdown gathers named cleanups and runs them exactly
+// once, LIFO, on SIGINT/SIGTERM or on normal return, so both exits leave
+// the same flushed, closed, parseable artifacts behind.
+package runutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// cleanup is one named teardown step.
+type cleanup struct {
+	name string
+	fn   func()
+}
+
+// Shutdown coordinates graceful teardown. Register cleanups with Defer
+// as resources are created; arrange Drain to run on the normal exit path
+// (a plain `defer sd.Drain()` at the top of run). When SIGINT or SIGTERM
+// arrives, the watcher goroutine runs the same Drain and exits with the
+// conventional 128+signal status, so artifact-flushing behavior is
+// identical on both paths.
+type Shutdown struct {
+	mu    sync.Mutex
+	fns   []cleanup
+	ran   bool
+	sigCh chan os.Signal
+	errW  io.Writer
+
+	// exit is os.Exit, overridable by tests so a delivered signal does
+	// not kill the test binary.
+	exit func(code int)
+}
+
+// Install registers for SIGINT/SIGTERM and returns the coordinator.
+// Diagnostics (which signal arrived, which cleanup is draining) go to
+// errW.
+func Install(errW io.Writer) *Shutdown {
+	s := &Shutdown{
+		sigCh: make(chan os.Signal, 1),
+		errW:  errW,
+		exit:  os.Exit,
+	}
+	signal.Notify(s.sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go s.watch()
+	return s
+}
+
+// watch waits for a signal, drains, and exits 128+signal. A second
+// signal during the drain falls through to Go's default disposition
+// because Stop has already deregistered the handler — the escape hatch
+// when a cleanup itself wedges.
+func (s *Shutdown) watch() {
+	sig, ok := <-s.sigCh
+	if !ok {
+		return
+	}
+	fmt.Fprintf(s.errW, "\nreceived %v: draining (second signal kills immediately)\n", sig)
+	signal.Stop(s.sigCh)
+	s.Drain()
+	code := 128 + int(syscall.SIGTERM)
+	if sig == syscall.SIGINT {
+		code = 128 + int(syscall.SIGINT)
+	}
+	s.exit(code)
+}
+
+// Defer registers a named cleanup. Cleanups run LIFO, mirroring the
+// defer statements they replace; registering after Drain has run
+// executes fn immediately (the resource was created during a drain —
+// release it rather than leak it).
+func (s *Shutdown) Defer(name string, fn func()) {
+	s.mu.Lock()
+	if s.ran {
+		s.mu.Unlock()
+		fn()
+		return
+	}
+	s.fns = append(s.fns, cleanup{name, fn})
+	s.mu.Unlock()
+}
+
+// Drain runs every registered cleanup exactly once, newest first. Safe
+// to call from both the normal exit path and the signal watcher; the
+// loser of the race returns after the winner finished (so the watcher
+// never exits the process while cleanups are still running).
+func (s *Shutdown) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ran {
+		return
+	}
+	s.ran = true
+	for i := len(s.fns) - 1; i >= 0; i-- {
+		s.fns[i].fn()
+	}
+	s.fns = nil
+	signal.Stop(s.sigCh)
+}

@@ -1,0 +1,76 @@
+package runutil
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDrainRunsLIFOOnce: cleanups run newest-first, exactly once even
+// when Drain is called from both exit paths.
+func TestDrainRunsLIFOOnce(t *testing.T) {
+	s := Install(&bytes.Buffer{})
+	defer s.Drain()
+	var order []string
+	s.Defer("a", func() { order = append(order, "a") })
+	s.Defer("b", func() { order = append(order, "b") })
+	s.Defer("c", func() { order = append(order, "c") })
+	s.Drain()
+	s.Drain()
+	if got := strings.Join(order, ""); got != "cba" {
+		t.Fatalf("drain order %q, want cba (LIFO, once)", got)
+	}
+}
+
+// TestDeferAfterDrainRunsImmediately: a resource created after the drain
+// already happened is released, not leaked.
+func TestDeferAfterDrainRunsImmediately(t *testing.T) {
+	s := Install(&bytes.Buffer{})
+	s.Drain()
+	ran := false
+	s.Defer("late", func() { ran = true })
+	if !ran {
+		t.Fatal("cleanup registered after Drain must run immediately")
+	}
+}
+
+// TestSignalDrainsAndExits delivers a real SIGTERM to the test process
+// and asserts the watcher drains every cleanup and exits 143 — the
+// regression test for Ctrl-C truncating the metrics JSONL and Chrome
+// trace mid-write.
+func TestSignalDrainsAndExits(t *testing.T) {
+	var errOut bytes.Buffer
+	s := Install(&errOut)
+
+	var mu sync.Mutex
+	var order []string
+	exited := make(chan int, 1)
+	s.exit = func(code int) { exited <- code }
+
+	s.Defer("flush-jsonl", func() { mu.Lock(); order = append(order, "jsonl"); mu.Unlock() })
+	s.Defer("close-trace", func() { mu.Lock(); order = append(order, "trace"); mu.Unlock() })
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case code := <-exited:
+		if code != 143 { // 128 + SIGTERM(15)
+			t.Errorf("exit code %d, want 143", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("signal watcher never exited")
+	}
+	mu.Lock()
+	got := strings.Join(order, ",")
+	mu.Unlock()
+	if got != "trace,jsonl" {
+		t.Errorf("signal drain order %q, want trace,jsonl", got)
+	}
+	if !strings.Contains(errOut.String(), "draining") {
+		t.Errorf("no drain diagnostic on stderr: %q", errOut.String())
+	}
+}

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"demystbert/internal/kernels"
+	"demystbert/internal/obs"
+)
+
+// Latency-vs-throughput frontier benchmark: for each GEMM path, sweep
+// offered load and record the open-loop latency distribution at every
+// point, plus a serial (MaxBatch=1) baseline at saturation — the
+// experiment behind BENCH_serve.json and the ≥3x-goodput acceptance
+// criterion for continuous batching. Engines are built and torn down
+// sequentially because the GEMM path override is process-global.
+
+// BenchConfig parameterizes a frontier run.
+type BenchConfig struct {
+	Model Config    // engine template (GEMMPath is overridden per sweep)
+	Spec  LoadSpec  // workload template (Rate is overridden per point)
+	Paths []string  `json:"paths"`
+	Rates []float64 `json:"rates"`
+	// SaturationRate is the offered load used to measure each
+	// configuration's capacity (and the serial baseline). It should be
+	// comfortably above what serial serving can sustain.
+	SaturationRate float64
+	// AccuracyReqs is the request-set size for the batched-vs-serial
+	// prediction-equality check.
+	AccuracyReqs int
+}
+
+// BenchPoint is one (path, offered rate) measurement.
+type BenchPoint struct {
+	Path string `json:"path"`
+	*LoadResult
+	// PackMisses counts pack-cache misses (f32 + int8) during the run —
+	// zero in steady state, by the warmup guarantee.
+	PackMisses int64 `json:"pack_misses"`
+}
+
+// BenchReport is the BENCH_serve.json schema.
+type BenchReport struct {
+	// Host/config provenance.
+	Config struct {
+		Layers     int     `json:"layers"`
+		DModel     int     `json:"d_model"`
+		Heads      int     `json:"heads"`
+		DFF        int     `json:"d_ff"`
+		Vocab      int     `json:"vocab"`
+		MaxBatch   int     `json:"max_batch"`
+		MaxDelayMS float64 `json:"max_delay_ms"`
+		Buckets    []int   `json:"buckets"`
+	} `json:"config"`
+	Workload struct {
+		MinLen      int     `json:"min_len"`
+		MaxLen      int     `json:"max_len"`
+		MaskFrac    float64 `json:"mask_frac"`
+		DurationSec float64 `json:"duration_sec"`
+		Seed        uint64  `json:"seed"`
+	} `json:"workload"`
+
+	// Frontier holds the latency-vs-throughput sweep: for each GEMM
+	// path, one point per offered rate plus one at SaturationRate.
+	Frontier []BenchPoint `json:"frontier"`
+
+	// SerialBaseline is MaxBatch=1 serving at SaturationRate on the
+	// default path — what continuous batching is measured against.
+	SerialBaseline BenchPoint `json:"serial_baseline"`
+	// BatchedSaturation is the batching engine at SaturationRate on the
+	// same path as the baseline.
+	BatchedSaturation BenchPoint `json:"batched_saturation"`
+	// GoodputRatio = BatchedSaturation.GoodputTPS /
+	// SerialBaseline.GoodputTPS (acceptance: ≥3).
+	GoodputRatio float64 `json:"goodput_ratio"`
+	// EqualAccuracy is true when batched and serial serving predicted
+	// identical tokens for the accuracy request set.
+	EqualAccuracy bool `json:"equal_accuracy"`
+}
+
+// packMissesNow sums the f32 and int8 pack-cache miss counters.
+func packMissesNow() int64 {
+	var total int64
+	for _, name := range []string{"kernels_pack_cache_misses_total", "kernels_int8_pack_cache_misses_total"} {
+		if m, ok := obs.Default.Find(name); ok {
+			total += int64(m.Value)
+		}
+	}
+	return total
+}
+
+// runPoint starts a fresh engine for (path, rate), drives the open-loop
+// load in-process, and tears the engine down.
+func runPoint(ecfg Config, spec LoadSpec, path kernels.GEMMPath, rate float64, log io.Writer) (*BenchPoint, error) {
+	ecfg.GEMMPath = path
+	e, err := New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+
+	// Warmup traffic so the measured window is steady state (packs are
+	// pre-built by New; this settles allocator and branch state).
+	warm := spec
+	warm.Rate, warm.Duration = 200, 300*time.Millisecond
+	RunLoad(warm, e.Submit)
+
+	missBefore := packMissesNow()
+	spec.Rate = rate
+	res := RunLoad(spec, e.Submit)
+	pt := &BenchPoint{
+		Path:       path.String(),
+		LoadResult: res,
+		PackMisses: packMissesNow() - missBefore,
+	}
+	if log != nil {
+		fmt.Fprintf(log, "  %-8s rate=%6.0f req/s  ok=%d rej=%d  p50=%.2fms p99=%.2fms  goodput=%.0f tok/s  meanB=%.1f  packMiss=%d\n",
+			pt.Path, rate, res.OK, res.Rejected, res.P50MS, res.P99MS, res.GoodputTPS, res.MeanBatch, pt.PackMisses)
+	}
+	return pt, nil
+}
+
+// checksumConcurrent submits reqs with many concurrent workers (so the
+// scheduler actually coalesces them into multi-request batches) and
+// folds per-request predictions in request order — comparable against a
+// serial run of the same set.
+func checksumConcurrent(reqs []*Request, target Target, workers int) (uint64, error) {
+	resps := make([]*Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resps[i], errs[i] = target(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	ordered := func(i int) (*Response, error) { return resps[i], errs[i] }
+	return foldChecksum(len(reqs), ordered)
+}
+
+// foldChecksum re-expresses PredictionChecksum over already-collected
+// responses so concurrent and serial runs hash identically.
+func foldChecksum(n int, get func(int) (*Response, error)) (uint64, error) {
+	i := -1
+	return PredictionChecksum(make([]*Request, n), func(*Request) (*Response, error) {
+		i++
+		return get(i)
+	})
+}
+
+// RunBench executes the full frontier experiment and returns the
+// report. log (optional) receives human-readable progress lines.
+func RunBench(cfg BenchConfig, log io.Writer) (*BenchReport, error) {
+	if len(cfg.Paths) == 0 {
+		cfg.Paths = []string{"blocked", "fused", "int8"}
+	}
+	if len(cfg.Rates) == 0 {
+		cfg.Rates = []float64{250, 500, 1000, 2000}
+	}
+	if cfg.SaturationRate <= 0 {
+		cfg.SaturationRate = 4000
+	}
+	if cfg.AccuracyReqs <= 0 {
+		cfg.AccuracyReqs = 256
+	}
+	cfg.Spec.setDefaults()
+
+	rep := &BenchReport{}
+	rep.Config.Layers = cfg.Model.Model.NumLayers
+	rep.Config.DModel = cfg.Model.Model.DModel
+	rep.Config.Heads = cfg.Model.Model.Heads
+	rep.Config.DFF = cfg.Model.Model.DFF
+	rep.Config.Vocab = cfg.Model.Model.Vocab
+	rep.Config.MaxBatch = cfg.Model.MaxBatch
+	rep.Config.MaxDelayMS = 1e3 * cfg.Model.MaxDelay.Seconds()
+	rep.Config.Buckets = cfg.Model.Buckets
+	rep.Workload.MinLen = cfg.Spec.MinLen
+	rep.Workload.MaxLen = cfg.Spec.MaxLen
+	rep.Workload.MaskFrac = cfg.Spec.MaskFrac
+	rep.Workload.DurationSec = cfg.Spec.Duration.Seconds()
+	rep.Workload.Seed = cfg.Spec.Seed
+
+	for _, name := range cfg.Paths {
+		path, err := kernels.ParseGEMMPath(name)
+		if err != nil {
+			return nil, err
+		}
+		if log != nil {
+			fmt.Fprintf(log, "path %s:\n", name)
+		}
+		for _, rate := range append(append([]float64(nil), cfg.Rates...), cfg.SaturationRate) {
+			pt, err := runPoint(cfg.Model, cfg.Spec, path, rate, log)
+			if err != nil {
+				return nil, err
+			}
+			rep.Frontier = append(rep.Frontier, *pt)
+			if name == cfg.Paths[0] && rate == cfg.SaturationRate {
+				rep.BatchedSaturation = *pt
+			}
+		}
+	}
+
+	// Serial baseline: same path as the first sweep, MaxBatch=1 — every
+	// request runs alone, no coalescing, no padding.
+	if log != nil {
+		fmt.Fprintf(log, "serial baseline (max_batch=1):\n")
+	}
+	serialCfg := cfg.Model
+	serialCfg.MaxBatch = 1
+	basePath, _ := kernels.ParseGEMMPath(cfg.Paths[0])
+	base, err := runPoint(serialCfg, cfg.Spec, basePath, cfg.SaturationRate, log)
+	if err != nil {
+		return nil, err
+	}
+	rep.SerialBaseline = *base
+	if base.GoodputTPS > 0 {
+		rep.GoodputRatio = rep.BatchedSaturation.GoodputTPS / base.GoodputTPS
+	}
+
+	// Equal-accuracy check: the same fixed request set through a batched
+	// engine (driven concurrently so real multi-request batches form)
+	// and a serial engine must produce identical predictions.
+	accReqs := cfg.Spec.GenRequests(cfg.AccuracyReqs)
+	eb, err := New(withPath(cfg.Model, basePath))
+	if err != nil {
+		return nil, err
+	}
+	batchedSum, err := checksumConcurrent(accReqs, eb.Submit, 64)
+	eb.Close()
+	if err != nil {
+		return nil, fmt.Errorf("accuracy check (batched): %w", err)
+	}
+	es, err := New(withPath(serialCfg, basePath))
+	if err != nil {
+		return nil, err
+	}
+	serialSum, err := PredictionChecksum(accReqs, es.Submit)
+	es.Close()
+	if err != nil {
+		return nil, fmt.Errorf("accuracy check (serial): %w", err)
+	}
+	rep.EqualAccuracy = batchedSum == serialSum
+	if log != nil {
+		fmt.Fprintf(log, "goodput ratio (batched/serial): %.2fx   equal accuracy: %v\n",
+			rep.GoodputRatio, rep.EqualAccuracy)
+	}
+	return rep, nil
+}
+
+func withPath(c Config, p kernels.GEMMPath) Config {
+	c.GEMMPath = p
+	return c
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"demystbert/internal/kernels"
+)
+
+// postMLM sends one request to a running server and decodes the reply.
+func postMLM(t *testing.T, base string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/mlm", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatalf("POST /v1/mlm: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+func startTestServer(t *testing.T, cfg Config) (*Engine, string) {
+	t.Helper()
+	prev := kernels.CurrentGEMMPath()
+	e, srv, err := Start(cfg, "localhost:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.ShutdownTimeout(5 * time.Second)
+		e.Close()
+		kernels.SetGEMMPath(prev)
+	})
+	return e, "http://" + srv.Addr
+}
+
+// TestServeSmokeAllPaths is the serving smoke in scripts/check.sh: a
+// live HTTP server on each production GEMM path must answer tokenized
+// requests with 200s and non-empty predictions, and expose the serving
+// metrics on the same port.
+func TestServeSmokeAllPaths(t *testing.T) {
+	for _, path := range []kernels.GEMMPath{
+		kernels.GEMMPathBlocked, kernels.GEMMPathFused, kernels.GEMMPathInt8,
+	} {
+		t.Run(path.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.GEMMPath = path
+			_, base := startTestServer(t, cfg)
+
+			for i := 0; i < 4; i++ {
+				body, _ := json.Marshal(testRequest(5+3*i, i))
+				resp, raw := postMLM(t, base, string(body))
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("request %d: HTTP %d: %s", i, resp.StatusCode, raw)
+				}
+				var r Response
+				if err := json.Unmarshal(raw, &r); err != nil {
+					t.Fatalf("request %d: bad JSON %q: %v", i, raw, err)
+				}
+				if len(r.Predictions) == 0 {
+					t.Fatalf("request %d: empty predictions: %s", i, raw)
+				}
+				for _, p := range r.Predictions {
+					if p.Token < 0 || p.Token >= cfg.Model.Vocab {
+						t.Fatalf("request %d: token %d outside vocab", i, p.Token)
+					}
+				}
+			}
+
+			hr, err := http.Get(base + "/metrics")
+			if err != nil {
+				t.Fatalf("GET /metrics: %v", err)
+			}
+			mb, _ := io.ReadAll(hr.Body)
+			hr.Body.Close()
+			if !bytes.Contains(mb, []byte("serve_requests_total")) {
+				t.Error("metrics endpoint missing serve_requests_total")
+			}
+		})
+	}
+}
+
+// TestHTTPErrors: status-code mapping for the admission error taxonomy.
+func TestHTTPErrors(t *testing.T) {
+	_, base := startTestServer(t, testConfig())
+
+	resp, _ := postMLM(t, base, `{"tokens": [1, 3, 9999]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-vocab token: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postMLM(t, base, `not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postMLM(t, base, `{"tokens": [1, 3], "unknown_field": 1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: HTTP %d, want 400", resp.StatusCode)
+	}
+	hr, err := http.Get(base + "/v1/mlm")
+	if err != nil {
+		t.Fatalf("GET /v1/mlm: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: HTTP %d, want 405", hr.StatusCode)
+	}
+}
+
+// TestHealthzDraining: /healthz flips from 200 to 503 once the engine
+// begins draining, so load balancers stop routing before requests fail.
+func TestHealthzDraining(t *testing.T) {
+	e, base := startTestServer(t, testConfig())
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthy server: HTTP %d, want 200", hr.StatusCode)
+	}
+	e.Close()
+	hr, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz after Close: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining server: HTTP %d, want 503", hr.StatusCode)
+	}
+	resp, _ := postMLM(t, base, `{"tokens": [1, 3]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("Submit while draining: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestLoadgenAgainstEngine: the open-loop generator drives the engine
+// in-process, succeeds on every request at a modest rate, and reports a
+// sane latency distribution.
+func TestLoadgenAgainstEngine(t *testing.T) {
+	e := newTestEngine(t, testConfig())
+	spec := LoadSpec{
+		Rate: 300, Duration: 500 * time.Millisecond,
+		MinLen: 5, MaxLen: 14, MaskFrac: 0.15,
+		Vocab: e.cfg.Model.Vocab, Seed: 11,
+	}
+	res := RunLoad(spec, e.Submit)
+	if res.OK == 0 {
+		t.Fatalf("no request succeeded: %+v", res)
+	}
+	if res.Failed > 0 {
+		t.Errorf("%d requests failed", res.Failed)
+	}
+	if res.P50MS <= 0 || res.P99MS < res.P50MS || res.MaxMS < res.P99MS {
+		t.Errorf("implausible latency distribution: p50=%.3f p99=%.3f max=%.3f", res.P50MS, res.P99MS, res.MaxMS)
+	}
+	if res.GoodputTPS <= 0 {
+		t.Errorf("goodput %.1f, want > 0", res.GoodputTPS)
+	}
+}
+
+// TestBatchedMatchesSerialPredictions is the equal-accuracy leg of the
+// goodput criterion: the same request set through a concurrently-driven
+// batching engine and a serial MaxBatch=1 engine on identical weights
+// must predict identical tokens.
+func TestBatchedMatchesSerialPredictions(t *testing.T) {
+	spec := LoadSpec{MinLen: 5, MaxLen: 14, MaskFrac: 0.2, Vocab: 1000, Seed: 3}
+	spec.setDefaults()
+	reqs := spec.GenRequests(96)
+
+	cfg := testConfig()
+	eb := newTestEngine(t, cfg)
+	batched, err := checksumConcurrent(reqs, eb.Submit, 32)
+	if err != nil {
+		t.Fatalf("batched run: %v", err)
+	}
+	eb.Close()
+
+	serialCfg := testConfig()
+	serialCfg.MaxBatch = 1
+	es := newTestEngine(t, serialCfg)
+	serial, err := PredictionChecksum(reqs, es.Submit)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if batched != serial {
+		t.Errorf("batched checksum %x != serial %x: dynamic batching changed predictions", batched, serial)
+	}
+}
+
+// TestGenRequestsDeterministic: the synthetic stream is reproducible and
+// well-formed (CLS first, ≥1 mask, ids in vocab).
+func TestGenRequestsDeterministic(t *testing.T) {
+	spec := LoadSpec{MinLen: 5, MaxLen: 16, MaskFrac: 0.15, Vocab: 1000, Seed: 9}
+	spec.setDefaults()
+	a, b := spec.GenRequests(50), spec.GenRequests(50)
+	for i := range a {
+		if fmt.Sprint(a[i].Tokens) != fmt.Sprint(b[i].Tokens) {
+			t.Fatalf("request %d differs between identical specs", i)
+		}
+		toks := a[i].Tokens
+		if toks[0] != 1 {
+			t.Fatalf("request %d does not start with CLS", i)
+		}
+		masks := 0
+		for _, id := range toks {
+			if id < 0 || id >= 1000 {
+				t.Fatalf("request %d: token %d outside vocab", i, id)
+			}
+			if id == 3 {
+				masks++
+			}
+		}
+		if masks == 0 {
+			t.Fatalf("request %d has no mask", i)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package serve
+
+import "demystbert/internal/obs"
+
+// Serving metrics, registered in the process-wide obs registry so the
+// debug endpoints of a serving binary expose the scheduler the same way
+// they expose the kernel layer: queue depth and wait, coalesced batch
+// geometry, end-to-end latency, and goodput (real, non-padding tokens)
+// versus padding waste. All hot-path updates are single atomics per the
+// obs contract.
+var (
+	reqsTotal = obs.NewCounter("serve_requests_total",
+		"inference requests accepted into the scheduler queue")
+	reqsRejected = obs.NewCounter("serve_rejected_total",
+		"inference requests rejected at admission (queue full or draining)")
+	reqsServed = obs.NewCounter("serve_served_total",
+		"inference requests completed with predictions")
+	predsTotal = obs.NewCounter("serve_predictions_total",
+		"masked-position predictions returned")
+	batchesTotal = obs.NewCounter("serve_batches_total",
+		"dynamic batches dispatched to the model")
+	goodputTokens = obs.NewCounter("serve_goodput_tokens_total",
+		"real (non-padding) tokens in dispatched batches")
+	paddingTokens = obs.NewCounter("serve_padding_tokens_total",
+		"padding tokens in dispatched batches (bucketing waste)")
+	deadlineFlushes = obs.NewCounter("serve_deadline_flushes_total",
+		"batches dispatched by the coalescing deadline rather than by filling up")
+
+	queueDepth = obs.NewGauge("serve_queue_depth",
+		"requests waiting in the scheduler (queued or coalescing)")
+
+	batchSizeHist = obs.NewHistogram("serve_batch_size",
+		"requests per dispatched batch",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	queueWaitMS = obs.NewHistogram("serve_queue_wait_ms",
+		"time from admission to batch dispatch, milliseconds",
+		obs.ExpBuckets(0.05, 2, 18))
+	latencyMS = obs.NewHistogram("serve_latency_ms",
+		"time from admission to completed predictions, milliseconds",
+		obs.ExpBuckets(0.05, 2, 18))
+	modelMS = obs.NewHistogram("serve_model_ms",
+		"forward-pass wall time per dispatched batch, milliseconds",
+		obs.ExpBuckets(0.05, 2, 18))
+)

@@ -1,0 +1,506 @@
+// Package serve is the frozen-weight inference engine: the ROADMAP's
+// "serving heavy traffic" path, characterized the same way the paper
+// characterizes training. A single model instance (eval context —
+// forward only, no gradients, no optimizer state) sits behind a
+// continuous-batching scheduler: concurrent requests are coalesced into
+// dynamic batches by length bucket, padded requests carry per-request
+// additive key-padding masks (the [B, n] mask plumbing in nn.attention,
+// here in its first production role), and the whole weight set is
+// pre-packed at load so steady-state traffic runs at 100% pack-cache
+// reuse — the regime the generation-counted pack cache (DESIGN.md §7)
+// and the int8/fused inference kernels (§11) were built for.
+//
+// Scheduling policy (DESIGN.md §12): requests enter one bounded queue;
+// the runner drains it opportunistically, groups requests by the
+// smallest configured bucket length that fits, and dispatches a bucket
+// the moment it holds MaxBatch requests — or when its oldest request
+// has waited MaxDelay, which bounds starvation for odd-length
+// stragglers. While a forward pass runs, arrivals accumulate in the
+// queue and form the next batch: continuous batching without a separate
+// batching thread.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"demystbert/internal/data"
+	"demystbert/internal/kernels"
+	"demystbert/internal/model"
+	"demystbert/internal/nn"
+	"demystbert/internal/tensor"
+)
+
+// Admission errors. BadRequestError (a distinct type) marks client
+// mistakes; these two mark server state.
+var (
+	// ErrOverloaded: the bounded queue is full — backpressure, HTTP 429.
+	ErrOverloaded = errors.New("serve: queue full")
+	// ErrDraining: the engine is shutting down — HTTP 503.
+	ErrDraining = errors.New("serve: engine draining")
+)
+
+// BadRequestError reports a malformed request (HTTP 400).
+type BadRequestError struct{ Reason string }
+
+func (e *BadRequestError) Error() string { return "serve: bad request: " + e.Reason }
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Model is the network geometry; weights are built deterministically
+	// from Seed (a real deployment would load a checkpoint via
+	// model/serialize — the serving path is identical from there on).
+	Model model.Config
+	Seed  uint64
+
+	// GEMMPath routes the frozen-weight GEMMs (blocked f32, fused
+	// epilogues, int8 quantized). Installed process-wide at New, before
+	// the warmup pre-pack, so the packs match the engine that will
+	// consume them.
+	GEMMPath kernels.GEMMPath
+
+	// MaxBatch caps requests per dynamic batch (default 32).
+	MaxBatch int
+	// MaxDelay bounds how long a pending request may wait for its
+	// bucket to fill before the scheduler dispatches a partial batch
+	// (default 2ms). This is the starvation bound.
+	MaxDelay time.Duration
+	// Buckets are the ascending sequence lengths requests are padded up
+	// to (default: powers of two from 8 through Model.MaxPos). A
+	// request longer than the last bucket is rejected.
+	Buckets []int
+	// QueueCap bounds the admission queue (default 4096); a full queue
+	// rejects with ErrOverloaded.
+	QueueCap int
+}
+
+func (c *Config) setDefaults() error {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if len(c.Buckets) == 0 {
+		for b := 8; b < c.Model.MaxPos; b *= 2 {
+			c.Buckets = append(c.Buckets, b)
+		}
+		c.Buckets = append(c.Buckets, c.Model.MaxPos)
+	}
+	sort.Ints(c.Buckets)
+	for i, b := range c.Buckets {
+		if b < 1 || b > c.Model.MaxPos {
+			return fmt.Errorf("serve: bucket %d outside [1, MaxPos=%d]", b, c.Model.MaxPos)
+		}
+		if i > 0 && b == c.Buckets[i-1] {
+			return fmt.Errorf("serve: duplicate bucket %d", b)
+		}
+	}
+	return nil
+}
+
+// Request is one tokenized inference request: predict the token id at
+// every [MASK] position.
+type Request struct {
+	// Tokens are the input ids; positions holding data.MaskID are the
+	// prediction targets.
+	Tokens []int `json:"tokens"`
+	// Segments are optional sentence A/B ids (all zero when omitted).
+	Segments []int `json:"segments,omitempty"`
+}
+
+// Prediction is the model's token choice for one masked position.
+type Prediction struct {
+	Pos   int `json:"pos"`
+	Token int `json:"token"`
+}
+
+// Response carries the predictions plus the scheduling telemetry the
+// latency-vs-throughput frontier is built from.
+type Response struct {
+	Predictions []Prediction `json:"predictions"`
+	// Bucket is the padded sequence length the request was batched at;
+	// BatchSize the number of requests in its dynamic batch.
+	Bucket    int     `json:"bucket"`
+	BatchSize int     `json:"batch_size"`
+	QueueMS   float64 `json:"queue_ms"`
+	TotalMS   float64 `json:"total_ms"`
+}
+
+// pending is one admitted request waiting in the scheduler.
+type pending struct {
+	tokens    []int
+	segments  []int
+	positions []int
+	bucket    int
+	enq       time.Time
+	done      chan result
+}
+
+type result struct {
+	preds     []Prediction
+	batchSize int
+	queued    time.Duration
+	err       error
+}
+
+// Engine is the serving instance: model, scheduler, and admission
+// queue. Construct with New, serve HTTP via Handler, stop with Close.
+type Engine struct {
+	cfg Config
+	m   *model.BERT
+	ctx *nn.Ctx
+
+	mu     sync.RWMutex // admission vs Close
+	closed bool
+	queue  chan *pending
+	stop   chan struct{}
+	done   chan struct{}
+
+	// WarmedPacks counts weight packs built by the load-time warmup.
+	WarmedPacks int
+}
+
+// New builds the model, installs the GEMM path, pre-packs every
+// inference weight (so the first request is as fast as the thousandth
+// and the pack-cache miss counters stay flat in steady state), and
+// starts the scheduler.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	m, err := model.New(cfg.Model, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	kernels.SetGEMMPath(cfg.GEMMPath)
+	e := &Engine{
+		cfg: cfg,
+		m:   m,
+		// Eval-only context: nil profiler (alloc-free no-op path), no
+		// RNG use (dropout inactive), Train permanently false.
+		ctx:   &nn.Ctx{Train: false},
+		queue: make(chan *pending, cfg.QueueCap),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	e.WarmedPacks = m.WarmupInference()
+	go e.run()
+	return e, nil
+}
+
+// Model exposes the underlying model (tests compare scheduler output
+// against direct serial inference on the same weights).
+func (e *Engine) Model() *model.BERT { return e.m }
+
+// Config returns the effective (default-filled) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// bucketFor returns the smallest configured bucket that fits n tokens,
+// or -1 when the request is too long.
+func (e *Engine) bucketFor(n int) int {
+	for _, b := range e.cfg.Buckets {
+		if n <= b {
+			return b
+		}
+	}
+	return -1
+}
+
+// validate admission-checks a request and returns its mask positions.
+func (e *Engine) validate(req *Request) ([]int, int, error) {
+	n := len(req.Tokens)
+	if n == 0 {
+		return nil, 0, &BadRequestError{"empty token list"}
+	}
+	bkt := e.bucketFor(n)
+	if bkt < 0 {
+		return nil, 0, &BadRequestError{fmt.Sprintf("length %d exceeds max bucket %d", n, e.cfg.Buckets[len(e.cfg.Buckets)-1])}
+	}
+	if req.Segments != nil && len(req.Segments) != n {
+		return nil, 0, &BadRequestError{fmt.Sprintf("%d segments for %d tokens", len(req.Segments), n)}
+	}
+	var positions []int
+	for i, id := range req.Tokens {
+		if id < 0 || id >= e.cfg.Model.Vocab {
+			return nil, 0, &BadRequestError{fmt.Sprintf("token id %d outside vocab %d", id, e.cfg.Model.Vocab)}
+		}
+		if req.Segments != nil && req.Segments[i] != 0 && req.Segments[i] != 1 {
+			return nil, 0, &BadRequestError{fmt.Sprintf("segment id %d must be 0 or 1", req.Segments[i])}
+		}
+		if id == data.MaskID {
+			positions = append(positions, i)
+		}
+	}
+	return positions, bkt, nil
+}
+
+// Submit admits a request and blocks until its batch completes,
+// returning the predictions. Safe for arbitrary concurrency; requests
+// admitted before Close are always answered (the drain dispatches
+// them), never abandoned.
+func (e *Engine) Submit(req *Request) (*Response, error) {
+	positions, bkt, err := e.validate(req)
+	if err != nil {
+		reqsRejected.Inc()
+		return nil, err
+	}
+	p := &pending{
+		tokens:    req.Tokens,
+		segments:  req.Segments,
+		positions: positions,
+		bucket:    bkt,
+		enq:       time.Now(),
+		done:      make(chan result, 1),
+	}
+
+	// Admission happens under RLock so Close (write lock) establishes a
+	// barrier: every request that saw closed==false is in the buffered
+	// queue before stop closes, and the runner's final drain answers it.
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		reqsRejected.Inc()
+		return nil, ErrDraining
+	}
+	select {
+	case e.queue <- p:
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		reqsRejected.Inc()
+		return nil, ErrOverloaded
+	}
+	reqsTotal.Inc()
+	queueDepth.Add(1)
+
+	r := <-p.done
+	if r.err != nil {
+		return nil, r.err
+	}
+	total := time.Since(p.enq)
+	latencyMS.Observe(1e3 * total.Seconds())
+	reqsServed.Inc()
+	predsTotal.Add(int64(len(r.preds)))
+	return &Response{
+		Predictions: r.preds,
+		Bucket:      bkt,
+		BatchSize:   r.batchSize,
+		QueueMS:     1e3 * r.queued.Seconds(),
+		TotalMS:     1e3 * total.Seconds(),
+	}, nil
+}
+
+// Close stops admission, drains every already-admitted request through
+// the model, and waits for the scheduler to exit.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.done
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stop)
+	<-e.done
+}
+
+// run is the scheduler: single goroutine, so the model's per-layer
+// saved state is never shared. Throughput parallelism lives inside the
+// kernels (the GEMM worker pool fans each forward across cores);
+// concurrency across requests is the batching itself.
+func (e *Engine) run() {
+	defer close(e.done)
+	pend := make(map[int][]*pending)
+	total := 0
+
+	add := func(p *pending) {
+		pend[p.bucket] = append(pend[p.bucket], p)
+		total++
+	}
+	dispatch := func(bkt int) {
+		reqs := pend[bkt]
+		delete(pend, bkt)
+		total -= len(reqs)
+		queueDepth.Add(-float64(len(reqs)))
+		e.runBatch(bkt, reqs)
+	}
+	// fullBucket returns a bucket at MaxBatch, oldestBucket the bucket
+	// whose head request has waited longest (its deadline governs).
+	fullBucket := func() int {
+		for bkt, reqs := range pend {
+			if len(reqs) >= e.cfg.MaxBatch {
+				return bkt
+			}
+		}
+		return -1
+	}
+	oldestBucket := func() (int, time.Time) {
+		best, bestT := -1, time.Time{}
+		for bkt, reqs := range pend {
+			if best == -1 || reqs[0].enq.Before(bestT) {
+				best, bestT = bkt, reqs[0].enq
+			}
+		}
+		return best, bestT
+	}
+
+	for {
+		// Nothing pending: block for work or shutdown.
+		if total == 0 {
+			select {
+			case p := <-e.queue:
+				add(p)
+			case <-e.stop:
+				e.drainFinal(pend)
+				return
+			}
+		}
+		// Opportunistic drain: coalesce everything that arrived while
+		// the previous batch was in the model.
+	drain:
+		for {
+			select {
+			case p := <-e.queue:
+				add(p)
+				if len(pend[p.bucket]) >= e.cfg.MaxBatch {
+					dispatch(p.bucket)
+				}
+			default:
+				break drain
+			}
+		}
+		if bkt := fullBucket(); bkt >= 0 {
+			dispatch(bkt)
+			continue
+		}
+		bkt, oldest := oldestBucket()
+		if bkt < 0 {
+			continue
+		}
+		deadline := oldest.Add(e.cfg.MaxDelay)
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			deadlineFlushes.Inc()
+			dispatch(bkt)
+			continue
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case p := <-e.queue:
+			timer.Stop()
+			add(p)
+			if len(pend[p.bucket]) >= e.cfg.MaxBatch {
+				dispatch(p.bucket)
+			}
+		case <-timer.C:
+			deadlineFlushes.Inc()
+			dispatch(bkt)
+		case <-e.stop:
+			timer.Stop()
+			e.drainFinal(pend)
+			return
+		}
+	}
+}
+
+// drainFinal answers everything still pending plus everything sitting
+// in the admission buffer — the graceful-shutdown guarantee that no
+// admitted request is abandoned.
+func (e *Engine) drainFinal(pend map[int][]*pending) {
+	for {
+		select {
+		case p := <-e.queue:
+			pend[p.bucket] = append(pend[p.bucket], p)
+		default:
+			for bkt, reqs := range pend {
+				queueDepth.Add(-float64(len(reqs)))
+				for len(reqs) > 0 {
+					n := min(len(reqs), e.cfg.MaxBatch)
+					e.runBatch(bkt, reqs[:n])
+					reqs = reqs[n:]
+				}
+			}
+			return
+		}
+	}
+}
+
+// runBatch pads the coalesced requests to the bucket length, builds the
+// additive key-padding mask, runs the forward-only model pass, and
+// delivers per-request predictions.
+func (e *Engine) runBatch(bkt int, reqs []*pending) {
+	if len(reqs) == 0 {
+		return
+	}
+	start := time.Now()
+	defer func() {
+		// A panic in the model must not kill the scheduler: deliver the
+		// failure to this batch's requests and keep serving.
+		if r := recover(); r != nil {
+			err := fmt.Errorf("serve: batch failed: %v\n%s", r, debug.Stack())
+			for _, p := range reqs {
+				p.done <- result{err: err}
+			}
+		}
+	}()
+
+	B, n := len(reqs), bkt
+	batch := &data.Batch{
+		B:        B,
+		N:        n,
+		Tokens:   make([]int, B*n),
+		Segments: make([]int, B*n),
+	}
+	positions := make([][]int, B)
+	real := 0
+	padded := false
+	for s, p := range reqs {
+		base := s * n
+		copy(batch.Tokens[base:], p.tokens)
+		if p.segments != nil {
+			copy(batch.Segments[base:], p.segments)
+		}
+		// Pad slots keep PadID/segment 0; the mask removes them from
+		// every attention sum, and no prediction reads their rows.
+		if len(p.tokens) < n {
+			padded = true
+		}
+		positions[s] = p.positions
+		real += len(p.tokens)
+	}
+	if padded {
+		batch.Mask = tensor.New(B, n)
+		for s, p := range reqs {
+			for i := len(p.tokens); i < n; i++ {
+				batch.Mask.Set(-1e9, s, i)
+			}
+		}
+	}
+
+	preds := e.m.PredictMaskedAt(e.ctx, batch, positions)
+
+	batchesTotal.Inc()
+	batchSizeHist.Observe(float64(B))
+	goodputTokens.Add(int64(real))
+	paddingTokens.Add(int64(B*n - real))
+	modelMS.Observe(1e3 * time.Since(start).Seconds())
+
+	for s, p := range reqs {
+		queued := start.Sub(p.enq)
+		queueWaitMS.Observe(1e3 * queued.Seconds())
+		out := make([]Prediction, len(p.positions))
+		for i, pos := range p.positions {
+			out[i] = Prediction{Pos: pos, Token: preds[s][i]}
+		}
+		p.done <- result{preds: out, batchSize: B, queued: queued}
+	}
+}

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"demystbert/internal/data"
+	"demystbert/internal/kernels"
+	"demystbert/internal/model"
+	"demystbert/internal/obs"
+)
+
+// testConfig is the reduced-scale engine every scheduler test uses. The
+// GEMM path override is process-global, so tests that force one restore
+// the previous value and never run in parallel with each other.
+func testConfig() Config {
+	mcfg := model.Tiny()
+	mcfg.FusedAttention = true
+	return Config{
+		Model:    mcfg,
+		Seed:     7,
+		GEMMPath: kernels.GEMMPathFused,
+		MaxBatch: 8,
+		MaxDelay: 2 * time.Millisecond,
+		Buckets:  []int{8, 16},
+		QueueCap: 256,
+	}
+}
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	prev := kernels.CurrentGEMMPath()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		e.Close()
+		kernels.SetGEMMPath(prev)
+	})
+	return e
+}
+
+// testRequest builds a deterministic request of length ln with a [MASK]
+// at position 1.
+func testRequest(ln, salt int) *Request {
+	toks := make([]int, ln)
+	toks[0] = data.ClsID
+	toks[1] = data.MaskID
+	for i := 2; i < ln; i++ {
+		toks[i] = data.FirstWordID + (salt*31+i*7)%900
+	}
+	return &Request{Tokens: toks}
+}
+
+// TestSubmitBasic: a lone request gets a prediction for each mask and
+// honest scheduling telemetry.
+func TestSubmitBasic(t *testing.T) {
+	e := newTestEngine(t, testConfig())
+	resp, err := e.Submit(testRequest(6, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if len(resp.Predictions) != 1 || resp.Predictions[0].Pos != 1 {
+		t.Fatalf("predictions %+v, want one at pos 1", resp.Predictions)
+	}
+	if tok := resp.Predictions[0].Token; tok < 0 || tok >= e.cfg.Model.Vocab {
+		t.Fatalf("predicted token %d outside vocab", tok)
+	}
+	if resp.Bucket != 8 {
+		t.Fatalf("bucket %d, want 8 (smallest fitting length 6)", resp.Bucket)
+	}
+	if resp.BatchSize != 1 {
+		t.Fatalf("batch size %d, want 1 for a lone request", resp.BatchSize)
+	}
+}
+
+// TestValidation: admission rejects malformed requests with
+// BadRequestError before they reach the model.
+func TestValidation(t *testing.T) {
+	e := newTestEngine(t, testConfig())
+	cases := []struct {
+		name string
+		req  *Request
+	}{
+		{"empty", &Request{}},
+		{"too long", testRequest(17, 1)},
+		{"bad token", &Request{Tokens: []int{1, 2, 1000}}},
+		{"negative token", &Request{Tokens: []int{1, -1}}},
+		{"segment length", &Request{Tokens: []int{1, 3}, Segments: []int{0}}},
+		{"segment value", &Request{Tokens: []int{1, 3}, Segments: []int{0, 2}}},
+	}
+	for _, tc := range cases {
+		_, err := e.Submit(tc.req)
+		if _, ok := err.(*BadRequestError); !ok {
+			t.Errorf("%s: error %v, want BadRequestError", tc.name, err)
+		}
+	}
+}
+
+// TestConcurrentCoalescing floods the engine from many goroutines under
+// the race detector: every request must complete, and with arrivals far
+// faster than forwards the scheduler must form multi-request batches.
+func TestConcurrentCoalescing(t *testing.T) {
+	e := newTestEngine(t, testConfig())
+	const N = 200
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	batched := 0
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := e.Submit(testRequest(5+i%10, i))
+			if err != nil {
+				errs <- fmt.Errorf("request %d: %w", i, err)
+				return
+			}
+			if len(resp.Predictions) == 0 {
+				errs <- fmt.Errorf("request %d: no predictions", i)
+				return
+			}
+			if resp.BatchSize > 1 {
+				mu.Lock()
+				batched++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if batched == 0 {
+		t.Error("no request was ever coalesced into a multi-request batch")
+	}
+}
+
+// TestStarvationBound: a lone odd-length request (nothing else in its
+// bucket, nothing else arriving) must not wait much past MaxDelay — the
+// deadline flush, not a full bucket, dispatches it.
+func TestStarvationBound(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxDelay = 5 * time.Millisecond
+	e := newTestEngine(t, cfg)
+	// One warm call so model/runtime state is settled before timing.
+	if _, err := e.Submit(testRequest(6, 0)); err != nil {
+		t.Fatalf("warm Submit: %v", err)
+	}
+	start := time.Now()
+	resp, err := e.Submit(testRequest(13, 1)) // 13 → bucket 16, alone
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	elapsed := time.Since(start)
+	// Bound: coalescing deadline + a generous forward+scheduling margin.
+	if limit := cfg.MaxDelay + 500*time.Millisecond; elapsed > limit {
+		t.Errorf("lone request took %v, want < %v (starved past the batch deadline)", elapsed, limit)
+	}
+	if resp.BatchSize != 1 {
+		t.Errorf("batch size %d, want 1", resp.BatchSize)
+	}
+	if resp.QueueMS < float64(cfg.MaxDelay.Milliseconds())-1 {
+		t.Logf("note: queue wait %.2fms under deadline %v (another dispatch triggered early flush)", resp.QueueMS, cfg.MaxDelay)
+	}
+}
+
+// TestOverloadRejects: with a full queue, Submit fails fast with
+// ErrOverloaded instead of blocking — the backpressure contract.
+func TestOverloadRejects(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueCap = 2
+	cfg.MaxBatch = 2
+	cfg.MaxDelay = 50 * time.Millisecond
+	e := newTestEngine(t, cfg)
+
+	const N = 64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ok, over := 0, 0
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := e.Submit(testRequest(6, i))
+			mu.Lock()
+			defer mu.Unlock()
+			switch err {
+			case nil:
+				ok++
+			case ErrOverloaded:
+				over++
+			default:
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Error("no request succeeded")
+	}
+	if ok+over != N {
+		t.Errorf("ok=%d + overloaded=%d != %d", ok, over, N)
+	}
+}
+
+// TestCloseDrainsAdmitted: requests admitted before Close are answered,
+// not abandoned; requests after Close get ErrDraining.
+func TestCloseDrainsAdmitted(t *testing.T) {
+	e := newTestEngine(t, testConfig())
+	const N = 32
+	admittedBefore := counterValue(t, "serve_requests_total")
+	var wg sync.WaitGroup
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := e.Submit(testRequest(6, i)); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	// Wait until every request is past admission (the accepted counter
+	// bumps right after enqueue), then drain.
+	for counterValue(t, "serve_requests_total")-admittedBefore < N {
+		time.Sleep(100 * time.Microsecond)
+	}
+	e.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("admitted request failed across Close: %v", err)
+	}
+	if _, err := e.Submit(testRequest(6, 99)); err != ErrDraining {
+		t.Errorf("Submit after Close: %v, want ErrDraining", err)
+	}
+}
+
+// counterValue reads a counter snapshot from the default registry.
+func counterValue(t *testing.T, name string) int64 {
+	t.Helper()
+	m, found := obs.Default.Find(name)
+	if !found {
+		t.Fatalf("metric %q not registered", name)
+	}
+	return int64(m.Value)
+}
+
+// TestSteadyStateZeroPackMisses is the pack-cache acceptance criterion:
+// after the load-time warmup, serving traffic on each GEMM path takes
+// zero pack-cache misses — every weight pack the forward consults was
+// pre-built by WarmupInference and frozen weights never invalidate it.
+func TestSteadyStateZeroPackMisses(t *testing.T) {
+	for _, tc := range []struct {
+		path    kernels.GEMMPath
+		counter string
+	}{
+		{kernels.GEMMPathBlocked, "kernels_pack_cache_misses_total"},
+		{kernels.GEMMPathFused, "kernels_pack_cache_misses_total"},
+		{kernels.GEMMPathInt8, "kernels_int8_pack_cache_misses_total"},
+	} {
+		t.Run(tc.path.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.GEMMPath = tc.path
+			e := newTestEngine(t, cfg) // New warms the packs (cold misses land here)
+
+			before := counterValue(t, tc.counter)
+			var wg sync.WaitGroup
+			for i := 0; i < 48; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if _, err := e.Submit(testRequest(5+i%12, i)); err != nil {
+						t.Errorf("request %d: %v", i, err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if d := counterValue(t, tc.counter) - before; d != 0 {
+				t.Errorf("steady-state serving took %d pack-cache misses on %s, want 0 (warmup must pre-pack everything)", d, tc.path)
+			}
+		})
+	}
+}
+
+// TestWarmupCoversInferencePath: the warmup pack count matches the
+// number of Linear layers the inference forward actually consults.
+func TestWarmupCoversInferencePath(t *testing.T) {
+	e := newTestEngine(t, testConfig())
+	// 6 Linears per encoder layer (Wq Wk Wv Wo FC1 FC2) + MLM dense +
+	// tied decoder.
+	want := 6*e.cfg.Model.NumLayers + 2
+	if e.WarmedPacks != want {
+		t.Errorf("warmed %d packs, want %d", e.WarmedPacks, want)
+	}
+}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench_serve.sh — run the serving latency-vs-throughput frontier and
+# emit BENCH_serve.json: for each GEMM path (blocked f32, fused
+# epilogues, int8 quantized), open-loop load sweeps with client-side
+# p50/p90/p99 latency and goodput (real tokens/s), plus a serial
+# MaxBatch=1 baseline at saturation, the batched/serial goodput ratio,
+# the batched-vs-serial prediction-equality check, and the steady-state
+# pack-cache miss count (must be 0 — serving pre-packs all weights at
+# load). Uses only the go toolchain.
+#
+# Workload: short query-style requests (3-8 tokens, buckets 4/8) with
+# BERT's standard 15% mask rate against a 12k-entry vocabulary — the
+# regime where continuous batching pays: per-forward fixed costs
+# (dominated by the vocab-sized MLM decoder operand prep) amortize over
+# up to 64 coalesced requests instead of being paid per request.
+#
+# Usage: scripts/bench_serve.sh [duration-per-point]   (default 5s)
+set -eu
+cd "$(dirname "$0")/.."
+
+DURATION="${1:-5s}"
+
+go run ./cmd/bertserve -bench \
+	-bench-out BENCH_serve.json \
+	-paths blocked,fused,int8 \
+	-rates 250,500,1000,2000 \
+	-saturation-rate 6000 \
+	-duration "$DURATION" \
+	-vocab 12000 -mask-frac 0.15 \
+	-min-len 3 -max-len 8 -buckets 4,8 -max-batch 64

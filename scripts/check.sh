@@ -15,8 +15,8 @@ go build ./...
 echo "== go test -race (kernels, tensor, obs, profile)"
 go test -race ./internal/kernels/ ./internal/tensor/ ./internal/obs/ ./internal/profile/
 
-echo "== go test -race -short (nn, model, optim, ddp, audit — reduced scale)"
-go test -race -short ./internal/nn/ ./internal/model/ ./internal/optim/ ./internal/ddp/ ./internal/audit/
+echo "== go test -race -short (nn, model, optim, ddp, audit, serve, runutil — reduced scale)"
+go test -race -short ./internal/nn/ ./internal/model/ ./internal/optim/ ./internal/ddp/ ./internal/audit/ ./internal/serve/ ./internal/runutil/
 
 echo "== go test ./..."
 go test ./...
@@ -35,6 +35,20 @@ go test -run 'TestNilProfilerZeroAlloc' -count=1 ./internal/profile/
 
 echo "== debug server smoke (/metrics, /debug/vars, /debug/pprof/)"
 go test -run 'TestDebugServerSmoke' -count=1 ./internal/obs/
+
+echo "== serving smoke (live HTTP server on blocked/fused/int8, 200s + predictions)"
+go test -run 'TestServeSmokeAllPaths' -count=1 ./internal/serve/
+
+echo "== serving steady state (zero pack-cache misses after warmup)"
+go test -run 'TestSteadyStateZeroPackMisses' -count=1 ./internal/serve/
+
+echo "== padding-mask audit (fused/unfused parity, exact-zero masked keys, padded vs serial)"
+go test -run 'TestFusedUnfusedMaskSoftmaxParity|TestMaskedKeysExactlyZeroWeight|TestPaddedBatchMatchesSerial' -count=1 ./internal/nn/
+go test -run 'TestPredictMaskedAtBucketedMatchesSerial' -count=1 ./internal/model/
+
+echo "== graceful shutdown (in-flight drain + signal-driven cleanup)"
+go test -run 'TestServerShutdownDrainsInFlight' -count=1 ./internal/obs/
+go test -run 'TestSignalDrainsAndExits' -count=1 ./internal/runutil/
 
 echo "== bench smoke (GEMM paper shapes + fused FFN tail + int8, 1 iteration)"
 go test -run 'xxx' -bench 'Fig6GEMMIntensity|GEMMPaperSizes|GEMMInt8PaperSizes|RealFFN' -benchtime 1x -benchmem . >/dev/null
