@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench-gemm bench-serve fuzz clean
+.PHONY: all build test check bench-gemm bench-serve bench-dist fuzz clean
 
 all: build
 
@@ -22,6 +22,11 @@ bench-gemm:
 # Run the serving latency-vs-throughput frontier and emit BENCH_serve.json.
 bench-serve:
 	sh scripts/bench_serve.sh
+
+# Real multi-process distributed-training sweep (world x overlap) and
+# emit BENCH_dist.json with measured vs modeled scaling.
+bench-dist:
+	sh scripts/bench_dist.sh
 
 # Short fuzz pass over the GEMM and softmax kernels.
 fuzz:

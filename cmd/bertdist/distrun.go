@@ -1,0 +1,450 @@
+package main
+
+// Real multi-process data-parallel training (internal/distnet), driven
+// from the same binary that renders the analytical Fig. 11 profiles:
+//
+//	bertdist -launch 2 -steps 6            # fork 2 loopback ranks, train
+//	bertdist -rank 1 -world 2 -addr H:P    # one rank, joined manually
+//	bertdist -bench-dist BENCH_dist.json   # measured-vs-modeled sweep
+//
+// The launcher forks this executable once per rank; workers rendezvous
+// at rank 0's TCP address, train on deterministic synthetic data, and
+// report per-rank results as JSON files the launcher aggregates. The
+// bench mode sweeps world sizes with overlap on and off and prints the
+// measured scaling efficiency next to the analytical model's prediction
+// for the same measured buckets and probed link.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"demystbert/internal/dist"
+	"demystbert/internal/distnet"
+	"demystbert/internal/model"
+	"demystbert/internal/runutil"
+)
+
+// workerArgsEnv lets the test binary re-exec itself as a worker: the
+// launcher always sets it, main binaries ignore it, and TestMain
+// intercepts it before the test runner takes over.
+const workerArgsEnv = "BERTDIST_WORKER_ARGS"
+
+// trainFlags carries every knob shared by the worker, launcher, and
+// bench modes.
+type trainFlags struct {
+	rank, world int
+	addr        string
+	launch      int
+
+	steps, trainB, seq    int
+	layers, dmodel, vocab int
+	bucketKB              int
+	seed                  uint64
+	drop                  float64
+	fixedData             bool
+	noOverlap             bool
+	netTimeout            time.Duration
+
+	paramsOut, resultOut, jsonOut string
+	benchOut, benchWorlds         string
+}
+
+func (tf *trainFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&tf.launch, "launch", 0, "fork N loopback worker processes and train data-parallel")
+	fs.IntVar(&tf.rank, "rank", 0, "this process's rank (with -world)")
+	fs.IntVar(&tf.world, "world", 0, "process-group size; >0 switches to real distributed training")
+	fs.StringVar(&tf.addr, "addr", "127.0.0.1:29500", "rank 0's rendezvous address")
+	fs.IntVar(&tf.steps, "steps", 6, "training steps")
+	fs.IntVar(&tf.trainB, "train-b", 4, "per-rank microbatch size")
+	fs.IntVar(&tf.seq, "seq", 32, "sequence length")
+	fs.IntVar(&tf.layers, "layers", 2, "transformer layers")
+	fs.IntVar(&tf.dmodel, "dmodel", 64, "hidden size (heads = dmodel/16, dff = 4*dmodel)")
+	fs.IntVar(&tf.vocab, "vocab", 1000, "vocabulary size")
+	fs.IntVar(&tf.bucketKB, "bucket-kb", 128, "gradient bucket size in KB (0 = one bucket per layer group)")
+	fs.Uint64Var(&tf.seed, "seed", 7, "model/data seed (identical across ranks)")
+	fs.Float64Var(&tf.drop, "drop", -1, "dropout override (<0 keeps the config default)")
+	fs.BoolVar(&tf.fixedData, "fixed-data", false, "repeat the first batch every step (convergence smoke)")
+	fs.DurationVar(&tf.netTimeout, "net-timeout", 30*time.Second, "handshake and per-frame I/O deadline")
+	fs.StringVar(&tf.paramsOut, "params-out", "", "write this rank's final model checkpoint here")
+	fs.StringVar(&tf.resultOut, "result-out", "", "write this rank's result JSON here")
+	fs.StringVar(&tf.jsonOut, "json", "", "with -launch: write aggregated per-rank results here")
+	fs.StringVar(&tf.benchOut, "bench-dist", "", "run the measured-vs-modeled scaling sweep, write JSON here")
+	fs.StringVar(&tf.benchWorlds, "bench-worlds", "1,2,4", "world sizes for -bench-dist")
+}
+
+func (tf *trainFlags) modelConfig() model.Config {
+	cfg := model.Tiny()
+	cfg.NumLayers = tf.layers
+	cfg.DModel = tf.dmodel
+	cfg.Heads = tf.dmodel / 16
+	if cfg.Heads < 1 {
+		cfg.Heads = 1
+	}
+	cfg.DFF = 4 * tf.dmodel
+	cfg.Vocab = tf.vocab
+	if tf.seq > cfg.MaxPos {
+		cfg.MaxPos = tf.seq
+	}
+	if tf.drop >= 0 {
+		cfg.DropProb = float32(tf.drop)
+	}
+	return cfg
+}
+
+func (tf *trainFlags) trainConfig() distnet.TrainConfig {
+	return distnet.TrainConfig{
+		Rank: tf.rank, World: tf.world, Addr: tf.addr, Timeout: tf.netTimeout,
+		Model: tf.modelConfig(), Seed: tf.seed, Steps: tf.steps,
+		B: tf.trainB, N: tf.seq,
+		BucketBytes: tf.bucketKB * 1024, Overlap: !tf.noOverlap,
+		FixedData: tf.fixedData, ProbeElems: 1 << 16,
+	}
+}
+
+// trainWorker runs one rank to completion.
+func trainWorker(tf *trainFlags, stdout, stderr io.Writer) int {
+	res, m, err := distnet.Train(tf.trainConfig())
+	if err != nil {
+		fmt.Fprintf(stderr, "bertdist: rank %d: %v\n", tf.rank, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rank %d/%d: %d steps, %d buckets, step %.2fms (fwd %.2f bwd %.2f comm %.2f exposed %.2f upd %.2f)\n",
+		res.Rank, res.World, res.Steps, res.Buckets,
+		res.StepMS, res.FwdMS, res.BwdMS, res.CommMS, res.ExposedMS, res.UpdMS)
+	reportLossTrend(stdout, res.Losses)
+	if tf.resultOut != "" {
+		if err := writeJSON(tf.resultOut, res); err != nil {
+			fmt.Fprintf(stderr, "bertdist: %v\n", err)
+			return 1
+		}
+	}
+	if tf.paramsOut != "" {
+		f, err := os.Create(tf.paramsOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "bertdist: %v\n", err)
+			return 1
+		}
+		if err := m.Save(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "bertdist: checkpoint: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "bertdist: checkpoint: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func reportLossTrend(w io.Writer, losses []float64) {
+	if len(losses) == 0 {
+		return
+	}
+	first, last := losses[0], losses[len(losses)-1]
+	trend := "rose"
+	if last < first {
+		trend = "fell"
+	}
+	fmt.Fprintf(w, "loss %s %.4f -> %.4f over %d steps\n", trend, first, last, len(losses))
+}
+
+// forkWorld forks one worker process per rank on a free loopback port
+// and returns their results. Children are SIGTERMed if the parent is
+// asked to shut down mid-run.
+func forkWorld(tf trainFlags, world int, overlap bool, paramsOutRank0 string, stderr io.Writer, sd *runutil.Shutdown) ([]*distnet.Result, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	addr, err := freeLoopbackAddr()
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "bertdist-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cmds := make([]*exec.Cmd, world)
+	for r := 0; r < world; r++ {
+		args := []string{
+			"-rank", strconv.Itoa(r),
+			"-world", strconv.Itoa(world),
+			"-addr", addr,
+			"-steps", strconv.Itoa(tf.steps),
+			"-train-b", strconv.Itoa(tf.trainB),
+			"-seq", strconv.Itoa(tf.seq),
+			"-layers", strconv.Itoa(tf.layers),
+			"-dmodel", strconv.Itoa(tf.dmodel),
+			"-vocab", strconv.Itoa(tf.vocab),
+			"-bucket-kb", strconv.Itoa(tf.bucketKB),
+			"-seed", strconv.FormatUint(tf.seed, 10),
+			"-drop", strconv.FormatFloat(tf.drop, 'g', -1, 64),
+			"-net-timeout", tf.netTimeout.String(),
+			"-result-out", filepath.Join(dir, fmt.Sprintf("rank%d.json", r)),
+		}
+		if !overlap {
+			args = append(args, "-no-overlap")
+		}
+		if tf.fixedData {
+			args = append(args, "-fixed-data")
+		}
+		if r == 0 && paramsOutRank0 != "" {
+			args = append(args, "-params-out", paramsOutRank0)
+		}
+		encoded, err := json.Marshal(args)
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(), workerArgsEnv+"="+string(encoded))
+		cmd.Stdout = stderr // keep the parent's stdout for the summary
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:r] {
+				c.Process.Signal(syscall.SIGTERM)
+			}
+			return nil, fmt.Errorf("starting rank %d: %w", r, err)
+		}
+		cmds[r] = cmd
+	}
+	sd.Defer("distributed workers", func() {
+		for _, c := range cmds {
+			if c != nil && c.Process != nil {
+				c.Process.Signal(syscall.SIGTERM)
+			}
+		}
+	})
+
+	var firstErr error
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	results := make([]*distnet.Result, world)
+	for r := range results {
+		var res distnet.Result
+		if err := readJSON(filepath.Join(dir, fmt.Sprintf("rank%d.json", r)), &res); err != nil {
+			return nil, fmt.Errorf("rank %d result: %w", r, err)
+		}
+		results[r] = &res
+	}
+	return results, nil
+}
+
+// launchLocal is the `-launch N` mode: fork, wait, aggregate, summarize.
+func launchLocal(tf *trainFlags, stdout, stderr io.Writer, sd *runutil.Shutdown) int {
+	world := tf.launch
+	results, err := forkWorld(*tf, world, !tf.noOverlap, tf.paramsOut, stderr, sd)
+	if err != nil {
+		fmt.Fprintf(stderr, "bertdist: launch: %v\n", err)
+		return 1
+	}
+	r0 := results[0]
+	fmt.Fprintf(stdout, "distributed training: world=%d overlap=%v buckets=%d grad_elems=%d\n",
+		world, r0.Overlap, r0.Buckets, r0.GradElems)
+	var meanFirst, meanLast float64
+	for _, r := range results {
+		fmt.Fprintf(stdout, "rank %d: step %.2fms comm %.2fms exposed %.2fms wire %dB/step\n",
+			r.Rank, r.StepMS, r.CommMS, r.ExposedMS, r.WireBytesPerStep)
+		meanFirst += r.Losses[0] / float64(world)
+		meanLast += r.Losses[len(r.Losses)-1] / float64(world)
+	}
+	trend := "rose"
+	if meanLast < meanFirst {
+		trend = "fell"
+	}
+	fmt.Fprintf(stdout, "loss %s %.4f -> %.4f over %d steps (mean across ranks)\n",
+		trend, meanFirst, meanLast, r0.Steps)
+	if tf.jsonOut != "" {
+		if err := writeJSON(tf.jsonOut, results); err != nil {
+			fmt.Fprintf(stderr, "bertdist: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// --- measured-vs-modeled sweep ---------------------------------------
+
+type benchModeled struct {
+	StepMS     float64 `json:"step_ms"`
+	ExposedMS  float64 `json:"exposed_ms"`
+	HiddenMS   float64 `json:"hidden_ms"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+type benchPoint struct {
+	World              int             `json:"world"`
+	Overlap            bool            `json:"overlap"`
+	Measured           *distnet.Result `json:"measured"`
+	MeasuredEfficiency float64         `json:"measured_efficiency"`
+	// ModeledIdeal assumes dedicated compute per rank (the paper's
+	// setting); ModeledSharedHost dilates compute by world/cores, the
+	// regime a loopback sweep on one machine actually runs in.
+	ModeledIdeal      benchModeled `json:"modeled_ideal"`
+	ModeledSharedHost benchModeled `json:"modeled_shared_host"`
+}
+
+type benchReport struct {
+	Layers       int          `json:"layers"`
+	DModel       int          `json:"dmodel"`
+	Seq          int          `json:"seq"`
+	TrainB       int          `json:"train_b"`
+	Steps        int          `json:"steps"`
+	BucketKB     int          `json:"bucket_kb"`
+	Cores        int          `json:"cores"`
+	GradElems    int          `json:"grad_elems"`
+	Buckets      int          `json:"buckets"`
+	SerialStepMS float64      `json:"serial_step_ms"`
+	Points       []benchPoint `json:"points"`
+}
+
+func toModeled(p dist.Prediction, serial time.Duration) benchModeled {
+	return benchModeled{
+		StepMS:     float64(p.Step) / float64(time.Millisecond),
+		ExposedMS:  float64(p.Exposed) / float64(time.Millisecond),
+		HiddenMS:   float64(p.Hidden) / float64(time.Millisecond),
+		Efficiency: p.Efficiency(serial),
+	}
+}
+
+// benchDist sweeps world sizes with overlap on and off, printing
+// measured scaling next to the analytical model fed with the measured
+// buckets and the probed link.
+func benchDist(tf *trainFlags, stdout, stderr io.Writer, sd *runutil.Shutdown) int {
+	var worlds []int
+	for _, s := range strings.Split(tf.benchWorlds, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w < 1 {
+			fmt.Fprintf(stderr, "bertdist: bad -bench-worlds entry %q\n", s)
+			return 2
+		}
+		worlds = append(worlds, w)
+	}
+
+	// Serial calibration run: per-bucket backward segments and compute
+	// times every prediction is built from.
+	fmt.Fprintf(stderr, "bench-dist: calibrating at world=1...\n")
+	serialRes, err := forkWorld(*tf, 1, true, "", stderr, sd)
+	if err != nil {
+		fmt.Fprintf(stderr, "bertdist: bench: %v\n", err)
+		return 1
+	}
+	serial := serialRes[0]
+	serialStep := msToDur(serial.StepMS)
+	buckets := make([]dist.MeasuredBucket, len(serial.BucketKB))
+	for i := range buckets {
+		buckets[i] = dist.MeasuredBucket{
+			Bwd:   msToDur(serial.BucketBwdMS[i]),
+			Bytes: int64(serial.BucketKB[i] * 1024),
+		}
+	}
+	fwd, upd := msToDur(serial.FwdMS), msToDur(serial.UpdMS)
+	cores := runtime.NumCPU()
+
+	rep := &benchReport{
+		Layers: tf.layers, DModel: tf.dmodel, Seq: tf.seq, TrainB: tf.trainB,
+		Steps: tf.steps, BucketKB: tf.bucketKB, Cores: cores,
+		GradElems: serial.GradElems, Buckets: serial.Buckets,
+		SerialStepMS: serial.StepMS,
+	}
+
+	fmt.Fprintf(stdout, "world overlap  step(ms)  exposed(ms)  eff    model-eff  model-eff(shared)\n")
+	for _, w := range worlds {
+		overlaps := []bool{true, false}
+		if w == 1 {
+			overlaps = []bool{true} // no comm to overlap
+		}
+		for _, ov := range overlaps {
+			var results []*distnet.Result
+			if w == 1 {
+				results = serialRes // reuse the calibration run
+			} else {
+				fmt.Fprintf(stderr, "bench-dist: measuring world=%d overlap=%v...\n", w, ov)
+				results, err = forkWorld(*tf, w, ov, "", stderr, sd)
+				if err != nil {
+					fmt.Fprintf(stderr, "bertdist: bench: %v\n", err)
+					return 1
+				}
+			}
+			// Worst rank bounds the step; rank 0's probe calibrates the link.
+			meas := results[0]
+			for _, r := range results {
+				if r.StepMS > meas.StepMS {
+					meas = r
+				}
+			}
+			link := dist.Link{
+				Bandwidth: results[0].LinkBandwidth,
+				Latency:   time.Duration(results[0].LinkLatencyUS * float64(time.Microsecond)),
+			}
+			dilation := float64(w) / float64(cores)
+			ideal := dist.PredictDP(fwd, upd, buckets, w, link, ov, 1)
+			shared := dist.PredictDP(fwd, upd, buckets, w, link, ov, dilation)
+			pt := benchPoint{
+				World: w, Overlap: ov, Measured: meas,
+				MeasuredEfficiency: serial.StepMS / meas.StepMS,
+				ModeledIdeal:       toModeled(ideal, serialStep),
+				ModeledSharedHost:  toModeled(shared, serialStep),
+			}
+			rep.Points = append(rep.Points, pt)
+			fmt.Fprintf(stdout, "%5d %-7v %9.2f %12.2f %6.2f %10.2f %13.2f\n",
+				w, ov, meas.StepMS, meas.ExposedMS, pt.MeasuredEfficiency,
+				pt.ModeledIdeal.Efficiency, pt.ModeledSharedHost.Efficiency)
+		}
+	}
+	if err := writeJSON(tf.benchOut, rep); err != nil {
+		fmt.Fprintf(stderr, "bertdist: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", tf.benchOut)
+	return 0
+}
+
+func msToDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+func freeLoopbackAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}

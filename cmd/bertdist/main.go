@@ -12,6 +12,13 @@
 //	bertdist -ts 8 -in-network     # switch-resident AllReduce
 //	bertdist -link 4               # 4x faster interconnect projection
 //
+// Beyond the analytical model, bertdist also runs *real* multi-process
+// data-parallel training over loopback TCP (internal/distnet):
+//
+//	bertdist -launch 2 -steps 6            # fork 2 worker processes
+//	bertdist -rank 0 -world 2 -addr H:P    # one worker, manual rendezvous
+//	bertdist -bench-dist BENCH_dist.json   # measured-vs-modeled sweep
+//
 // -metrics-jsonl writes the modeled single-device iteration as one
 // telemetry record in the shared per-step JSONL schema; -debug-addr
 // serves the runtime counter registry, expvar, and pprof.
@@ -50,14 +57,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	inNetwork := fs.Bool("in-network", false, "with -ts: model in-network AllReduce (Section 6.2.3)")
 	metricsPath := fs.String("metrics-jsonl", "", "write the modeled per-device iteration as one JSON telemetry record to this path")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+	var tf trainFlags
+	tf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	tf.noOverlap = *noOverlap
 
 	// Signal-safe cleanup: SIGINT/SIGTERM flushes the metrics file and
 	// drains the debug server instead of truncating mid-write.
 	sd := runutil.Install(stderr)
 	defer sd.Drain()
+
+	// Real multi-process training modes (internal/distnet) — see
+	// distrun.go. Everything below stays the analytical model.
+	switch {
+	case tf.benchOut != "":
+		return benchDist(&tf, stdout, stderr, sd)
+	case tf.launch > 0:
+		return launchLocal(&tf, stdout, stderr, sd)
+	case tf.world > 0:
+		return trainWorker(&tf, stdout, stderr)
+	}
 
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr, obs.Default)

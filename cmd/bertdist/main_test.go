@@ -2,16 +2,43 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"demystbert/internal/data"
+	"demystbert/internal/ddp"
+	"demystbert/internal/model"
 )
+
+// TestMain lets the launcher fork this test binary as a real worker
+// process: forkWorld always passes the worker argv through the
+// environment, and we re-enter run() with it before the test runner
+// starts.
+func TestMain(m *testing.M) {
+	if raw := os.Getenv(workerArgsEnv); raw != "" {
+		var args []string
+		if err := json.Unmarshal([]byte(raw), &args); err != nil {
+			os.Stderr.WriteString("bad " + workerArgsEnv + ": " + err.Error() + "\n")
+			os.Exit(2)
+		}
+		os.Exit(run(args, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
 
 func runCmd(t *testing.T, args ...string) (string, int) {
 	t.Helper()
 	var out, errOut strings.Builder
 	code := run(args, &out, &errOut)
+	if code != 0 {
+		t.Logf("stderr:\n%s", errOut.String())
+	}
 	return out.String(), code
 }
 
@@ -96,5 +123,173 @@ func TestDebugAddr(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if _, code := runCmd(t, "-nope"); code == 0 {
 		t.Fatal("bad flag must fail")
+	}
+}
+
+// --- real multi-process training -------------------------------------
+
+func TestLaunchTwoProcesses(t *testing.T) {
+	jsonOut := filepath.Join(t.TempDir(), "agg.json")
+	out, code := runCmd(t, "-launch", "2", "-steps", "6", "-train-b", "2", "-seq", "16",
+		"-fixed-data", "-drop", "0", "-json", jsonOut)
+	if code != 0 {
+		t.Fatalf("launch exit code %d\n%s", code, out)
+	}
+	for _, want := range []string{"world=2", "rank 0:", "rank 1:", "loss fell"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("launch output missing %q:\n%s", want, out)
+		}
+	}
+	var results []map[string]any
+	b, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &results); err != nil || len(results) != 2 {
+		t.Fatalf("aggregate JSON malformed (%v): %s", err, b)
+	}
+	if results[1]["rank"] != float64(1) || results[0]["wire_bytes_per_step"] == float64(0) {
+		t.Fatalf("aggregate JSON missing fields: %v", results)
+	}
+}
+
+// Cross-process bitwise parity: two real OS processes training over TCP
+// must land on exactly the parameters the in-process ddp trainer
+// produces from the same seeds and data schedule.
+func TestLaunchBitwiseMatchesInProcessDDP(t *testing.T) {
+	const steps, seed, B, N = 3, 7, 2, 16
+	params := filepath.Join(t.TempDir(), "params.bin")
+	out, code := runCmd(t, "-launch", "2", "-steps", "3", "-train-b", "2", "-seq", "16",
+		"-seed", "7", "-params-out", params)
+	if code != 0 {
+		t.Fatalf("launch exit code %d\n%s", code, out)
+	}
+	f, err := os.Open(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := model.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tf trainFlags
+	tf.trainB, tf.seq, tf.layers, tf.dmodel, tf.vocab, tf.drop = B, N, 2, 64, 1000, -1
+	cfg := tf.modelConfig()
+	ddpTr, err := ddp.NewTrainer(cfg, 2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ddpTr.Close()
+	gen := data.NewGenerator(cfg.Vocab, 0.15, seed+1000003)
+	for s := 0; s < steps; s++ {
+		if _, err := ddpTr.Step([]*data.Batch{gen.Next(B, N), gen.Next(B, N)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gp, wp := got.Params(), ddpTr.Replicas[0].Params()
+	if len(gp) != len(wp) {
+		t.Fatalf("param count %d vs %d", len(gp), len(wp))
+	}
+	for i := range gp {
+		a, b := gp[i].Value.Data(), wp[i].Value.Data()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("%s[%d]: cross-process %v vs in-process %v (bitwise divergence)",
+					gp[i].Name, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestWorkerBadConfigFails(t *testing.T) {
+	// A worker whose rendezvous never appears must exit nonzero within
+	// its timeout, not hang.
+	done := make(chan int, 1)
+	go func() {
+		_, code := runCmd(t, "-rank", "1", "-world", "2", "-addr", "127.0.0.1:1",
+			"-net-timeout", "700ms", "-steps", "1")
+		done <- code
+	}()
+	select {
+	case code := <-done:
+		if code == 0 {
+			t.Fatal("worker with dead rendezvous exited 0")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker hung past its handshake timeout")
+	}
+}
+
+// SIGTERM to the launcher must drain: forward the signal to workers and
+// exit 143 rather than leaving orphans.
+func TestLaunchSIGTERMDrains(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-launch", "2", "-steps", "2000", "-train-b", "2", "-seq", "16", "-fixed-data"}
+	encoded, _ := json.Marshal(args)
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), workerArgsEnv+"="+string(encoded))
+	var errOut strings.Builder
+	cmd.Stderr = &errOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1500 * time.Millisecond) // let the ring come up and train
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("launcher did not exit after SIGTERM")
+	}
+	ee, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok || ee.ExitStatus() != 143 {
+		t.Fatalf("launcher exit status %v, want 143 (128+SIGTERM)\nstderr:\n%s",
+			cmd.ProcessState, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "draining") {
+		t.Fatalf("launcher did not announce its drain:\n%s", errOut.String())
+	}
+}
+
+func TestBenchDistWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks several process groups")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	stdout, code := runCmd(t, "-bench-dist", out, "-bench-worlds", "1,2",
+		"-steps", "3", "-train-b", "2", "-seq", "16", "-fixed-data")
+	if code != 0 {
+		t.Fatalf("bench exit code %d\n%s", code, stdout)
+	}
+	var rep map[string]any
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	points, ok := rep["points"].([]any)
+	if !ok || len(points) != 3 { // world 1 + world 2 × {overlap, sequential}
+		t.Fatalf("want 3 sweep points, got %v", rep["points"])
+	}
+	for _, p := range points {
+		pt := p.(map[string]any)
+		meff := pt["measured_efficiency"].(float64)
+		if meff <= 0 || math.IsNaN(meff) {
+			t.Fatalf("bad measured efficiency in %v", pt)
+		}
+		if pt["modeled_ideal"].(map[string]any)["efficiency"].(float64) <= 0 {
+			t.Fatalf("bad modeled efficiency in %v", pt)
+		}
 	}
 }

@@ -6,21 +6,171 @@
 // data-parallel model in internal/dist, and demonstrates the paper's
 // Section 5 semantics: every device computes the full model, gradients
 // are averaged once per iteration, and all replicas remain bit-identical.
+//
+// The multi-process counterpart — the same ring moving chunks over TCP
+// sockets between worker processes — lives in internal/distnet.
 package ddp
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
-// RingAllReduce sums the equal-length buffers of all participants element-
-// wise and leaves the result in every buffer, using the bandwidth-optimal
-// ring algorithm: D-1 reduce-scatter steps followed by D-1 all-gather
-// steps, each moving one 1/D chunk per link.
+// Ring is a reusable D-participant ring AllReduce engine. It owns one
+// persistent worker goroutine and one preallocated send scratch per rank,
+// so a steady-state AllReduce call performs zero heap allocations — the
+// per-step chunk copies the one-shot implementation used to make are
+// replaced by scratch buffers recycled through per-rank ack channels.
+//
+// A Ring is built for a fixed participant count and buffer length;
+// AllReduce may be called repeatedly (it is how the Trainer averages
+// gradients every step). Close releases the workers.
+type Ring struct {
+	d, n   int
+	bounds []int // chunk c covers [bounds[c], bounds[c+1])
+
+	// scratch[r] is rank r's send buffer: the chunk is copied in, the
+	// slice is passed to the successor over links[r], and acks[r] signals
+	// the successor consumed it so rank r may refill it next step.
+	scratch [][]float32
+	links   []chan []float32
+	acks    []chan struct{}
+
+	start []chan struct{}
+	done  chan struct{}
+	bufs  [][]float32
+}
+
+// NewRing builds a ring over d participants reducing buffers of n
+// float32s each.
+func NewRing(d, n int) *Ring {
+	if d < 1 {
+		panic(fmt.Sprintf("ddp: ring needs at least one rank, got %d", d))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("ddp: negative buffer length %d", n))
+	}
+	r := &Ring{
+		d:       d,
+		n:       n,
+		bounds:  make([]int, d+1),
+		scratch: make([][]float32, d),
+		links:   make([]chan []float32, d),
+		acks:    make([]chan struct{}, d),
+		start:   make([]chan struct{}, d),
+		done:    make(chan struct{}, d),
+	}
+	maxChunk := 0
+	for c := 0; c <= d; c++ {
+		r.bounds[c] = c * n / d
+	}
+	for c := 0; c < d; c++ {
+		if l := r.bounds[c+1] - r.bounds[c]; l > maxChunk {
+			maxChunk = l
+		}
+	}
+	for rank := 0; rank < d; rank++ {
+		r.scratch[rank] = make([]float32, maxChunk)
+		r.links[rank] = make(chan []float32, 1)
+		r.acks[rank] = make(chan struct{}, 1)
+		r.start[rank] = make(chan struct{})
+		go r.worker(rank)
+	}
+	return r
+}
+
+// AllReduce sums the participants' equal-length buffers element-wise and
+// leaves the result in every buffer, using the bandwidth-optimal ring
+// algorithm: D-1 reduce-scatter steps followed by D-1 all-gather steps,
+// each moving one 1/D chunk per link.
 //
 // The reduction order of every chunk is fixed by the ring topology, so
 // all participants end with bit-identical results regardless of
-// scheduling.
+// scheduling. Zero allocations in steady state.
+func (r *Ring) AllReduce(buffers [][]float32) {
+	if len(buffers) != r.d {
+		panic(fmt.Sprintf("ddp: %d buffers for a %d-rank ring", len(buffers), r.d))
+	}
+	for _, b := range buffers {
+		if len(b) != r.n {
+			panic(fmt.Sprintf("ddp: buffer length mismatch %d vs %d", len(b), r.n))
+		}
+	}
+	if r.d == 1 || r.n == 0 {
+		return
+	}
+	r.bufs = buffers
+	for rank := 0; rank < r.d; rank++ {
+		r.start[rank] <- struct{}{}
+	}
+	for i := 0; i < r.d; i++ {
+		<-r.done
+	}
+	r.bufs = nil
+}
+
+// Close stops the ring's worker goroutines. The Ring must not be used
+// after Close.
+func (r *Ring) Close() {
+	for rank := 0; rank < r.d; rank++ {
+		close(r.start[rank])
+	}
+}
+
+func (r *Ring) worker(rank int) {
+	for range r.start[rank] {
+		r.runRank(rank)
+		r.done <- struct{}{}
+	}
+}
+
+// chunk returns buffer view c (mod d) of buf.
+func (r *Ring) chunk(buf []float32, c int) []float32 {
+	c = ((c % r.d) + r.d) % r.d
+	return buf[r.bounds[c]:r.bounds[c+1]]
+}
+
+// runRank executes one rank's share of an AllReduce. Each step copies
+// the outgoing chunk into the rank's own scratch, hands the scratch to
+// the successor, consumes the predecessor's scratch, acknowledges it,
+// and waits for the successor's acknowledgement before the next refill —
+// so a single scratch per rank is safe and no step allocates.
+func (r *Ring) runRank(rank int) {
+	d := r.d
+	prev := (rank + d - 1) % d
+	out, in := r.links[rank], r.links[prev]
+	buf := r.bufs[rank]
+
+	// Reduce-scatter: after step s, rank owns the partial sum of chunk
+	// (rank - s); after d-1 steps, chunk (rank + 1) is fully reduced at
+	// this rank.
+	for s := 0; s < d-1; s++ {
+		send := r.chunk(buf, rank-s)
+		sc := r.scratch[rank][:len(send)]
+		copy(sc, send)
+		out <- sc
+		recv := <-in
+		dst := r.chunk(buf, rank-s-1)
+		for i := range dst {
+			dst[i] += recv[i]
+		}
+		r.acks[prev] <- struct{}{}
+		<-r.acks[rank]
+	}
+	// All-gather: circulate the reduced chunks.
+	for s := 0; s < d-1; s++ {
+		send := r.chunk(buf, rank+1-s)
+		sc := r.scratch[rank][:len(send)]
+		copy(sc, send)
+		out <- sc
+		recv := <-in
+		copy(r.chunk(buf, rank-s), recv)
+		r.acks[prev] <- struct{}{}
+		<-r.acks[rank]
+	}
+}
+
+// RingAllReduce sums the equal-length buffers of all participants
+// element-wise and leaves the result in every buffer. One-shot
+// convenience over Ring; callers reducing repeatedly (trainers) should
+// hold a Ring to reach the zero-alloc steady state.
 func RingAllReduce(buffers [][]float32) {
 	d := len(buffers)
 	if d == 0 {
@@ -35,60 +185,9 @@ func RingAllReduce(buffers [][]float32) {
 	if d == 1 || n == 0 {
 		return
 	}
-
-	// Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
-	bounds := make([]int, d+1)
-	for c := 0; c <= d; c++ {
-		bounds[c] = c * n / d
-	}
-	chunk := func(buf []float32, c int) []float32 {
-		c = ((c % d) + d) % d
-		return buf[bounds[c]:bounds[c+1]]
-	}
-
-	// Links: rank r sends to rank (r+1) mod d. A one-slot channel per
-	// link carries one chunk per step.
-	links := make([]chan []float32, d)
-	for i := range links {
-		links[i] = make(chan []float32, 1)
-	}
-
-	var wg sync.WaitGroup
-	for rank := 0; rank < d; rank++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			out := links[rank]        // to (rank+1) mod d
-			in := links[(rank+d-1)%d] // from (rank-1) mod d
-			buf := buffers[rank]
-
-			// Reduce-scatter: after step s, rank owns the partial sum of
-			// chunk (rank - s); after d-1 steps, chunk (rank + 1) is fully
-			// reduced at this rank.
-			for s := 0; s < d-1; s++ {
-				send := chunk(buf, rank-s)
-				outCopy := make([]float32, len(send))
-				copy(outCopy, send)
-				out <- outCopy
-				recv := <-in
-				dst := chunk(buf, rank-s-1)
-				for i := range dst {
-					dst[i] += recv[i]
-				}
-			}
-			// All-gather: circulate the reduced chunks.
-			for s := 0; s < d-1; s++ {
-				send := chunk(buf, rank+1-s)
-				outCopy := make([]float32, len(send))
-				copy(outCopy, send)
-				out <- outCopy
-				recv := <-in
-				dst := chunk(buf, rank-s)
-				copy(dst, recv)
-			}
-		}(rank)
-	}
-	wg.Wait()
+	r := NewRing(d, n)
+	r.AllReduce(buffers)
+	r.Close()
 }
 
 // BytesMoved returns the total bytes each participant transmits during a

@@ -116,6 +116,69 @@ func TestRingAllReduceConstantProperty(t *testing.T) {
 	}
 }
 
+// A reused Ring must be bit-identical to the one-shot path and reusable
+// across calls.
+func TestRingReuseMatchesOneShot(t *testing.T) {
+	r := tensor.NewRNG(3)
+	const d, n = 4, 517
+	ring := NewRing(d, n)
+	defer ring.Close()
+	for trial := 0; trial < 3; trial++ {
+		a := make([][]float32, d)
+		b := make([][]float32, d)
+		for i := range a {
+			a[i] = make([]float32, n)
+			b[i] = make([]float32, n)
+			for j := range a[i] {
+				v := r.Float32() - 0.5
+				a[i][j] = v
+				b[i][j] = v
+			}
+		}
+		ring.AllReduce(a)
+		RingAllReduce(b)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("trial %d rank %d elem %d: ring %v vs one-shot %v",
+						trial, i, j, a[i][j], b[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestRingSizeMismatchPanics(t *testing.T) {
+	ring := NewRing(2, 8)
+	defer ring.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong buffer length must panic")
+		}
+	}()
+	ring.AllReduce([][]float32{make([]float32, 8), make([]float32, 9)})
+}
+
+// Steady-state AllReduce on a held Ring must not allocate: the per-step
+// chunk copies of the old implementation are the regression this guards
+// against (the guard runs in check.sh next to the kernel alloc guards).
+func TestRingAllReduceZeroAllocSteadyState(t *testing.T) {
+	const d, n = 4, 4096
+	ring := NewRing(d, n)
+	defer ring.Close()
+	bufs := make([][]float32, d)
+	for i := range bufs {
+		bufs[i] = make([]float32, n)
+		for j := range bufs[i] {
+			bufs[i][j] = float32(i + j)
+		}
+	}
+	ring.AllReduce(bufs) // warm up
+	if avg := testing.AllocsPerRun(50, func() { ring.AllReduce(bufs) }); avg != 0 {
+		t.Fatalf("Ring.AllReduce allocates %v objects/op in steady state, want 0", avg)
+	}
+}
+
 func TestBytesMoved(t *testing.T) {
 	if BytesMoved(1000, 1) != 0 {
 		t.Fatal("single rank moves nothing")

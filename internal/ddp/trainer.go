@@ -38,6 +38,7 @@ type Trainer struct {
 	opts     []*optim.LAMB
 
 	flat [][]float32 // reusable flattened-gradient buffers
+	ring *Ring       // persistent zero-alloc AllReduce engine
 }
 
 // NewTrainer builds a D-replica trainer with deterministic identical
@@ -62,7 +63,16 @@ func NewTrainer(cfg model.Config, d int, seed uint64) (*Trainer, error) {
 		t.opts = append(t.opts, optim.NewLAMB(0.01))
 		t.flat = append(t.flat, make([]float32, gradLen(m)))
 	}
+	t.ring = NewRing(d, len(t.flat[0]))
 	return t, nil
+}
+
+// Close releases the trainer's AllReduce workers.
+func (t *Trainer) Close() {
+	if t.ring != nil {
+		t.ring.Close()
+		t.ring = nil
+	}
 }
 
 // Devices returns the replica count.
@@ -106,7 +116,7 @@ func (t *Trainer) Step(batches []*data.Batch) ([]float64, error) {
 			off += copy(t.flat[i][off:], p.Grad.Data())
 		}
 	}
-	RingAllReduce(t.flat)
+	t.ring.AllReduce(t.flat)
 	inv := float32(1) / float32(d)
 	for i, m := range t.Replicas {
 		off := 0

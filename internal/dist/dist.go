@@ -20,12 +20,20 @@ import (
 // receives 2·(D-1)/D of the buffer over its link, plus 2·(D-1) step
 // latencies.
 func RingAllReduce(bytes int64, devices int, dev device.Device) time.Duration {
+	return ringTime(bytes, devices, dev.Interconnect, dev.InterconnectLatency)
+}
+
+// ringTime is the ring all-reduce cost model over an explicit link:
+// 2·(D-1)/D of the buffer crosses each link, plus 2·(D-1) per-step
+// latencies. Shared by the device-based Fig. 11 profiles and the
+// measured-link predictions (PredictDP).
+func ringTime(bytes int64, devices int, bandwidth float64, latency time.Duration) time.Duration {
 	if devices <= 1 || bytes <= 0 {
 		return 0
 	}
 	d := float64(devices)
-	transfer := 2 * (d - 1) / d * float64(bytes) / dev.Interconnect
-	steps := time.Duration(2*(devices-1)) * dev.InterconnectLatency
+	transfer := 2 * (d - 1) / d * float64(bytes) / bandwidth
+	steps := time.Duration(2*(devices-1)) * latency
 	return time.Duration(transfer*1e9)*time.Nanosecond + steps
 }
 
@@ -89,6 +97,38 @@ type gradGroup struct {
 	comm time.Duration // AllReduce time of its gradients
 }
 
+// scheduleComm plays the backward pass against the link. With overlap, a
+// group's AllReduce starts once its backward completes and the link is
+// free; communication beyond the end of backprop is exposed (Section
+// 5.1's "maximum of the computation and communication times for every
+// pair of consecutive layers"). Without overlap everything is exposed.
+// Shared by the analytical Fig. 11 profiles and the measured-bucket
+// predictions (PredictDP), so model and measurement disagree only about
+// inputs, never about scheduling.
+func scheduleComm(groups []gradGroup, overlap bool) (exposed, hidden, commTotal time.Duration) {
+	if overlap {
+		var t, linkFree time.Duration
+		for _, g := range groups {
+			t += g.bwd
+			start := t
+			if linkFree > start {
+				start = linkFree
+			}
+			linkFree = start + g.comm
+			commTotal += g.comm
+		}
+		if linkFree > t {
+			exposed = linkFree - t
+		}
+		hidden = commTotal - exposed
+		return exposed, hidden, commTotal
+	}
+	for _, g := range groups {
+		commTotal += g.comm
+	}
+	return commTotal, 0, commTotal
+}
+
 // DataParallel models D-way data parallelism over the single-device
 // result r. With overlap, each group's gradient AllReduce proceeds
 // concurrently with the remaining backprop; only communication that
@@ -132,31 +172,7 @@ func DataParallel(name string, r *perfmodel.Result, devices int, overlap bool) P
 		comm: RingAllReduce(int64(pgs[0].Size)*es, devices, dev),
 	})
 
-	var exposed, hidden, commTotal time.Duration
-	if overlap {
-		// Timeline simulation: a group's AllReduce starts once its
-		// backward completes and the link is free; communication beyond
-		// the end of backprop is exposed.
-		var t, linkFree time.Duration
-		for _, g := range groups {
-			t += g.bwd
-			start := t
-			if linkFree > start {
-				start = linkFree
-			}
-			linkFree = start + g.comm
-			commTotal += g.comm
-		}
-		if linkFree > t {
-			exposed = linkFree - t
-		}
-		hidden = commTotal - exposed
-	} else {
-		for _, g := range groups {
-			commTotal += g.comm
-		}
-		exposed = commTotal
-	}
+	exposed, hidden, _ := scheduleComm(groups, overlap)
 
 	p := Profile{
 		Name:       name,

@@ -1,0 +1,33 @@
+package distnet
+
+import "demystbert/internal/obs"
+
+// Transport and trainer telemetry, served at /metrics next to the
+// in-process ddp counters. The exposed-vs-overlapped histograms are the
+// observable form of the paper's D1-vs-D2 distinction: with overlap on,
+// distnet_exposed_comm_seconds should collapse toward the final bucket's
+// AllReduce while distnet_hidden_comm_seconds absorbs the rest.
+var (
+	stepsTotal = obs.NewCounter("distnet_steps_total",
+		"multi-process data-parallel training steps completed")
+	txBytes = obs.NewCounter("distnet_tx_bytes_total",
+		"bytes written to ring and control sockets (incl. frame headers)")
+	rxBytes = obs.NewCounter("distnet_rx_bytes_total",
+		"bytes read from ring and control sockets (incl. frame headers)")
+	bucketsReduced = obs.NewCounter("distnet_buckets_reduced_total",
+		"gradient buckets all-reduced")
+	allreducesTotal = obs.NewCounter("distnet_allreduces_total",
+		"ring AllReduce collectives completed")
+	commSeconds = obs.NewHistogram("distnet_comm_seconds",
+		"total gradient AllReduce time per step (sum over buckets)",
+		obs.ExpBuckets(1e-5, 4, 12)) // 10 µs .. ~40 s
+	exposedSeconds = obs.NewHistogram("distnet_exposed_comm_seconds",
+		"communication time not hidden behind backward compute, per step",
+		obs.ExpBuckets(1e-5, 4, 12))
+	hiddenSeconds = obs.NewHistogram("distnet_hidden_comm_seconds",
+		"communication time overlapped with backward compute, per step",
+		obs.ExpBuckets(1e-5, 4, 12))
+	stepSeconds = obs.NewHistogram("distnet_step_wall_seconds",
+		"wall-clock time of one multi-process training step",
+		obs.ExpBuckets(1e-4, 4, 12))
+)

@@ -1,0 +1,180 @@
+// Package distnet trains BERT data-parallel across real worker
+// processes connected by TCP sockets — the executable, measurable
+// counterpart of both the in-process goroutine simulation (internal/ddp)
+// and the analytical multi-device model (internal/dist, the paper's
+// Section 5). Rank 0 hosts the rendezvous; workers dial in, exchange a
+// rank/world handshake, and build a ring of persistent length-prefixed
+// byte streams. Gradients are coalesced into fixed-size buckets and
+// ring-all-reduced (reduce-scatter + all-gather, the same chunk math as
+// ddp.RingAllReduce); with overlap enabled, each bucket's AllReduce
+// launches the moment its last gradient is produced during backward, so
+// only communication that outlives backprop is exposed — the D2 bar of
+// the paper's Fig. 11, measured instead of modeled.
+package distnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// Wire protocol constants. Every message is a frame:
+//
+//	[tag u32][seq u32][len u32][len payload bytes]   (little-endian)
+//
+// Data frames carry float32 chunks; control messages (handshake,
+// address table, barrier) use the same framing with string or u32-list
+// payloads. Tag identifies the collective (bucket id, probe, barrier),
+// seq the ring step within it — both are verified on receive, so a
+// desynchronized peer surfaces as a protocol error instead of silently
+// corrupted gradients.
+const (
+	protoVersion = 1
+
+	magicCtrl = 0x44420001 // rendezvous handshake conn
+	magicData = 0x44420002 // ring data conn
+
+	frameHeaderBytes = 12
+
+	tagHello   = 0xC0000001 // worker -> rank 0: version, rank, world, listen addr
+	tagTable   = 0xC0000002 // rank 0 -> worker: data listener address table
+	tagBarrier = 0xC0000003
+	tagProbe   = 0xF0000000 // probe collectives: tagProbe+i
+)
+
+// conn wraps one persistent TCP stream with buffered framing, a reused
+// payload scratch, and a per-operation I/O deadline, so a wedged or dead
+// peer always surfaces as an error within the deadline instead of a
+// hung worker.
+type conn struct {
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
+	hdr     [frameHeaderBytes]byte
+	buf     []byte // payload scratch, grown on demand
+
+	bytesIn, bytesOut int64
+}
+
+func newConn(c net.Conn, timeout time.Duration) *conn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // lockstep chunk exchange; never wait for Nagle
+	}
+	return &conn{
+		c:       c,
+		br:      bufio.NewReaderSize(c, 1<<16),
+		bw:      bufio.NewWriterSize(c, 1<<16),
+		timeout: timeout,
+	}
+}
+
+func (c *conn) grow(n int) []byte {
+	if cap(c.buf) < n {
+		c.buf = make([]byte, n)
+	}
+	return c.buf[:n]
+}
+
+// writeFrame sends one frame whose payload is the little-endian encoding
+// of data, using the reused scratch (zero steady-state allocations once
+// the scratch has grown to the largest chunk).
+func (c *conn) writeFrame(tag, seq uint32, data []float32) error {
+	nb := 4 * len(data)
+	buf := c.grow(nb)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return c.writeRaw(tag, seq, buf)
+}
+
+func (c *conn) writeRaw(tag, seq uint32, payload []byte) error {
+	if err := c.c.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(c.hdr[0:], tag)
+	binary.LittleEndian.PutUint32(c.hdr[4:], seq)
+	binary.LittleEndian.PutUint32(c.hdr[8:], uint32(len(payload)))
+	if _, err := c.bw.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	n := int64(frameHeaderBytes + len(payload))
+	c.bytesOut += n
+	txBytes.Add(n)
+	return nil
+}
+
+// readFrame receives one frame, verifying tag, seq, and payload size.
+// The returned bytes alias the conn's scratch and are valid until the
+// next read.
+func (c *conn) readFrame(tag, seq uint32, elems int) ([]byte, error) {
+	payload, gotTag, gotSeq, err := c.readAny()
+	if err != nil {
+		return nil, err
+	}
+	if gotTag != tag || gotSeq != seq {
+		return nil, fmt.Errorf("distnet: protocol desync: got frame tag %#x seq %d, want %#x seq %d",
+			gotTag, gotSeq, tag, seq)
+	}
+	if len(payload) != 4*elems {
+		return nil, fmt.Errorf("distnet: frame tag %#x seq %d carries %d bytes, want %d",
+			tag, seq, len(payload), 4*elems)
+	}
+	return payload, nil
+}
+
+// readAny receives the next frame whatever its tag (the handshake path,
+// where the expected tag depends on who dialed).
+func (c *conn) readAny() (payload []byte, tag, seq uint32, err error) {
+	if err := c.c.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, 0, 0, err
+	}
+	if _, err := io.ReadFull(c.br, c.hdr[:]); err != nil {
+		return nil, 0, 0, err
+	}
+	tag = binary.LittleEndian.Uint32(c.hdr[0:])
+	seq = binary.LittleEndian.Uint32(c.hdr[4:])
+	nb := binary.LittleEndian.Uint32(c.hdr[8:])
+	const maxFrame = 1 << 30
+	if nb > maxFrame {
+		return nil, 0, 0, fmt.Errorf("distnet: implausible frame size %d", nb)
+	}
+	buf := c.grow(int(nb))
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, 0, 0, err
+	}
+	n := int64(frameHeaderBytes) + int64(nb)
+	c.bytesIn += n
+	rxBytes.Add(n)
+	return buf, tag, seq, nil
+}
+
+func (c *conn) close() error { return c.c.Close() }
+
+// decodeSum adds the frame payload element-wise into dst (the
+// reduce-scatter accumulate: dst[i] += recv[i], matching
+// ddp.Ring.runRank so world=2 results are bit-identical to the
+// in-process trainer).
+func decodeSum(dst []float32, payload []byte) {
+	for i := range dst {
+		dst[i] += math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+}
+
+// decodeCopy overwrites dst with the frame payload (the all-gather
+// move).
+func decodeCopy(dst []float32, payload []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+}

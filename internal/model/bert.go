@@ -34,6 +34,15 @@ type BERT struct {
 	// recipe uses k = 6 (√N ≈ 4 checkpoints over 24 layers).
 	CheckpointEvery int
 
+	// GradHook, when non-nil, is invoked during Backward as parameter
+	// gradients become final, with an index into GradGroups(): once after
+	// the output heads' backward, once after each encoder layer's
+	// backward (last layer first), and once after the embedding backward.
+	// Distributed trainers use it to launch a gradient bucket's AllReduce
+	// the moment its last gradient is produced, overlapping communication
+	// with the remaining backprop (internal/distnet).
+	GradHook func(group int)
+
 	// Saved iteration state.
 	batch      *data.Batch
 	seqOut     *tensor.Tensor
@@ -208,14 +217,19 @@ func (m *BERT) Backward(ctx *nn.Ctx) {
 			}
 		})
 
+	// All head gradients are final once the CLS path has backpropagated.
+	m.fireGrad(0)
+
 	// Encoder layers in reverse, with optional recompute-from-checkpoint.
 	if m.CheckpointEvery > 0 {
 		m.backwardWithCheckpoints(ctx, dSeq)
 	} else {
 		for i := len(m.Layers) - 1; i >= 0; i-- {
 			dSeq = m.Layers[i].Backward(ctx, dSeq)
+			m.fireGrad(1 + (len(m.Layers) - 1 - i))
 		}
 		m.Embed.Backward(ctx, dSeq)
+		m.fireGrad(1 + len(m.Layers))
 	}
 
 	m.batch, m.seqOut, m.mlmProbs, m.nspProbs, m.pooledTanh = nil, nil, nil, nil, nil
@@ -248,10 +262,51 @@ func (m *BERT) backwardWithCheckpoints(ctx *nn.Ctx, dSeq *tensor.Tensor) {
 		}
 		for i := last; i >= first; i-- {
 			dSeq = m.Layers[i].Backward(ctx, dSeq)
+			m.fireGrad(1 + (len(m.Layers) - 1 - i))
 		}
 	}
 	m.Embed.Backward(ctx, dSeq)
+	m.fireGrad(1 + len(m.Layers))
 	m.ckptInputs = m.ckptInputs[:0]
+}
+
+func (m *BERT) fireGrad(group int) {
+	if m.GradHook != nil {
+		m.GradHook(group)
+	}
+}
+
+// GradGroups partitions the trainable parameters into
+// gradient-completion groups in the order Backward finalizes them: the
+// output heads first, then the encoder layers from last to first, then
+// the embedding. The tied MLM decoder weight lives in the embedding
+// group — its gradient receives a contribution from the decoder backward
+// early, but is final only after the embedding backward at the very end
+// of backprop. Every Params() element appears in exactly one group;
+// GradHook fires with these indices.
+func (m *BERT) GradGroups() [][]*nn.Param {
+	embed := m.Embed.Params()
+	inEmbed := make(map[*nn.Param]bool, len(embed))
+	for _, p := range embed {
+		inEmbed[p] = true
+	}
+	var heads []*nn.Param
+	for _, ps := range [][]*nn.Param{
+		m.MLMDense.Params(), m.MLMLN.Params(), m.MLMDecoder.Params(),
+		m.Pooler.Params(), m.NSP.Params(),
+	} {
+		for _, p := range ps {
+			if !inEmbed[p] {
+				heads = append(heads, p)
+			}
+		}
+	}
+	groups := make([][]*nn.Param, 0, 2+len(m.Layers))
+	groups = append(groups, heads)
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		groups = append(groups, m.Layers[i].Params())
+	}
+	return append(groups, embed)
 }
 
 // Step runs one full training iteration's forward and backward passes and

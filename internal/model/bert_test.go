@@ -262,3 +262,92 @@ func TestVarLenBatchTrains(t *testing.T) {
 		}
 	}
 }
+
+func TestGradGroupsCoverParamsExactlyOnce(t *testing.T) {
+	m, err := New(Tiny(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := m.GradGroups()
+	if want := 2 + len(m.Layers); len(groups) != want {
+		t.Fatalf("got %d groups, want %d (heads + layers + embedding)", len(groups), want)
+	}
+	seen := map[*nn.Param]int{}
+	total := 0
+	for _, g := range groups {
+		for _, p := range g {
+			seen[p]++
+			total++
+		}
+	}
+	params := m.Params()
+	if total != len(params) {
+		t.Fatalf("groups hold %d params, Params() has %d", total, len(params))
+	}
+	for _, p := range params {
+		if seen[p] != 1 {
+			t.Errorf("param %s appears %d times in GradGroups", p.Name, seen[p])
+		}
+	}
+	// The tied decoder weight must sit in the final (embedding) group.
+	tied := m.MLMDecoder.W
+	inLast := false
+	for _, p := range groups[len(groups)-1] {
+		if p == tied {
+			inLast = true
+		}
+	}
+	if !inLast {
+		t.Fatal("tied MLM decoder weight missing from the embedding group")
+	}
+}
+
+// GradHook must fire once per group, in order, and only after every
+// gradient of the group is final: re-running the remaining backward
+// must not change an already-announced group's gradients.
+func TestGradHookFiresInOrderWithFinalGrads(t *testing.T) {
+	for _, ckpt := range []int{0, 1} {
+		cfg := Tiny()
+		m, err := New(cfg, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.CheckpointEvery = ckpt
+		groups := m.GradGroups()
+		b := tinyBatch(cfg, 2, 16, 7)
+		ctx := nn.NewCtx(8)
+
+		var fired []int
+		snapshots := make(map[int][]float32)
+		m.GradHook = func(g int) {
+			fired = append(fired, g)
+			var snap []float32
+			for _, p := range groups[g] {
+				snap = append(snap, p.Grad.Data()...)
+			}
+			snapshots[g] = snap
+		}
+		m.Step(ctx, b)
+
+		if len(fired) != len(groups) {
+			t.Fatalf("ckpt=%d: hook fired %d times for %d groups", ckpt, len(fired), len(groups))
+		}
+		for i, g := range fired {
+			if g != i {
+				t.Fatalf("ckpt=%d: firing order %v not sequential", ckpt, fired)
+			}
+		}
+		for g := range groups {
+			var now []float32
+			for _, p := range groups[g] {
+				now = append(now, p.Grad.Data()...)
+			}
+			for i := range now {
+				if now[i] != snapshots[g][i] {
+					t.Fatalf("ckpt=%d: group %d grad[%d] changed after hook: %v -> %v",
+						ckpt, g, i, snapshots[g][i], now[i])
+				}
+			}
+		}
+	}
+}

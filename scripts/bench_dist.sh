@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench_dist.sh — real multi-process distributed-training sweep: forks
+# bertdist worker processes over loopback TCP for each world size, with
+# gradient-bucket overlap on and off, and emits BENCH_dist.json holding
+# the measured step decomposition (fwd/bwd/comm/exposed), the measured
+# scaling efficiency, and the analytical model's prediction (dist.PredictDP)
+# for the same measured buckets and probed link — both the paper's
+# dedicated-device assumption and a shared-host variant that dilates
+# compute by world/cores. Uses only the go toolchain (no external deps).
+#
+# Usage: scripts/bench_dist.sh [worlds] [steps]   (default "1,2,4" and 8)
+set -eu
+cd "$(dirname "$0")/.."
+
+WORLDS="${1:-1,2,4}"
+STEPS="${2:-8}"
+OUT=BENCH_dist.json
+
+go run ./cmd/bertdist -bench-dist "$OUT" -bench-worlds "$WORLDS" \
+	-steps "$STEPS" -layers 4 -dmodel 128 -seq 64 -train-b 4 \
+	-bucket-kb 128 -fixed-data

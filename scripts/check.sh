@@ -15,8 +15,8 @@ go build ./...
 echo "== go test -race (kernels, tensor, obs, profile)"
 go test -race ./internal/kernels/ ./internal/tensor/ ./internal/obs/ ./internal/profile/
 
-echo "== go test -race -short (nn, model, optim, ddp, audit, serve, runutil — reduced scale)"
-go test -race -short ./internal/nn/ ./internal/model/ ./internal/optim/ ./internal/ddp/ ./internal/audit/ ./internal/serve/ ./internal/runutil/
+echo "== go test -race -short (nn, model, optim, ddp, distnet, audit, serve, runutil — reduced scale)"
+go test -race -short ./internal/nn/ ./internal/model/ ./internal/optim/ ./internal/ddp/ ./internal/distnet/ ./internal/audit/ ./internal/serve/ ./internal/runutil/
 
 echo "== go test ./..."
 go test ./...
@@ -28,8 +28,9 @@ echo "== loss-scaler cap + FP16 conformance"
 go test -run 'TestLossScaler' -count=1 ./internal/optim/
 go test -run 'TestF16' -count=1 ./internal/tensor/
 
-echo "== alloc guard (GEMM + fused epilogue + int8 + bias kernels + metrics + nil profiler, zero allocs)"
+echo "== alloc guard (GEMM + fused epilogue + int8 + bias kernels + ring allreduce + metrics + nil profiler, zero allocs)"
 go test -run 'TestGEMMZeroAllocSteadyState|TestGEMMPackedEpilogueZeroAlloc|TestGEMMInt8ZeroAlloc|TestAddBiasBiasGradZeroAlloc' -count=1 ./internal/kernels/
+go test -run 'TestRingAllReduceZeroAllocSteadyState' -count=1 ./internal/ddp/
 go test -run 'TestMetricsZeroAlloc' -count=1 ./internal/obs/
 go test -run 'TestNilProfilerZeroAlloc' -count=1 ./internal/profile/
 
@@ -49,6 +50,15 @@ go test -run 'TestPredictMaskedAtBucketedMatchesSerial' -count=1 ./internal/mode
 echo "== graceful shutdown (in-flight drain + signal-driven cleanup)"
 go test -run 'TestServerShutdownDrainsInFlight' -count=1 ./internal/obs/
 go test -run 'TestSignalDrainsAndExits' -count=1 ./internal/runutil/
+
+echo "== distributed training smoke (2 real processes over loopback TCP, loss falls)"
+go run ./cmd/bertdist -launch 2 -steps 6 -train-b 2 -seq 16 -fixed-data -drop 0 | grep "loss fell"
+
+echo "== distributed shutdown (SIGTERM to launcher drains workers, exit 143)"
+go test -run 'TestLaunchSIGTERMDrains' -count=1 ./cmd/bertdist/
+
+echo "== cross-process bitwise parity (world=2 TCP training == in-process ddp)"
+go test -run 'TestLaunchBitwiseMatchesInProcessDDP' -count=1 ./cmd/bertdist/
 
 echo "== bench smoke (GEMM paper shapes + fused FFN tail + int8, 1 iteration)"
 go test -run 'xxx' -bench 'Fig6GEMMIntensity|GEMMPaperSizes|GEMMInt8PaperSizes|RealFFN' -benchtime 1x -benchmem . >/dev/null
