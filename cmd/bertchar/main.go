@@ -194,15 +194,24 @@ func runLive(stdout io.Writer, sd *runutil.Shutdown, steps int, metricsPath stri
 	}
 
 	out := stdout
+	var finalReg *obs.Registry // nil keeps stdout clean: flush only
+	var metricsFile *os.File
 	if metricsPath != "" {
 		f, err := os.Create(metricsPath)
 		if err != nil {
 			return err
 		}
-		sd.Defer("metrics jsonl", func() { f.Close() })
-		out = f
+		out, metricsFile, finalReg = f, f, obs.Default
 	}
 	emitter := obs.NewStepEmitter(out, dev.Peaks())
+	sd.Defer("metrics jsonl", func() {
+		if err := emitter.EmitFinal(finalReg); err != nil {
+			fmt.Fprintf(os.Stderr, "bertchar: metrics final: %v\n", err)
+		}
+		if metricsFile != nil {
+			metricsFile.Close()
+		}
+	})
 
 	fmt.Fprintf(stdout, "live run: BERT N=%d d_model=%d h=%d d_ff=%d, B=%d n=%d, %d steps (mixed-precision=%v)\n",
 		cfg.NumLayers, cfg.DModel, cfg.Heads, cfg.DFF, b, n, steps, mp)

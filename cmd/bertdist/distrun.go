@@ -33,6 +33,7 @@ import (
 	"demystbert/internal/distnet"
 	"demystbert/internal/model"
 	"demystbert/internal/runutil"
+	"demystbert/internal/trace"
 )
 
 // workerArgsEnv lets the test binary re-exec itself as a worker: the
@@ -56,6 +57,9 @@ type trainFlags struct {
 	noOverlap             bool
 	netTimeout            time.Duration
 
+	trace    bool
+	traceOut string
+
 	paramsOut, resultOut, jsonOut string
 	benchOut, benchWorlds         string
 }
@@ -76,6 +80,8 @@ func (tf *trainFlags) register(fs *flag.FlagSet) {
 	fs.Float64Var(&tf.drop, "drop", -1, "dropout override (<0 keeps the config default)")
 	fs.BoolVar(&tf.fixedData, "fixed-data", false, "repeat the first batch every step (convergence smoke)")
 	fs.DurationVar(&tf.netTimeout, "net-timeout", 30*time.Second, "handshake and per-frame I/O deadline")
+	fs.BoolVar(&tf.trace, "trace", false, "record per-step spans on every rank; rank 0 merges them clock-aligned and reports per-step stragglers")
+	fs.StringVar(&tf.traceOut, "trace-out", "", "with -trace: write the merged multi-rank Perfetto timeline here (rank 0)")
 	fs.StringVar(&tf.paramsOut, "params-out", "", "write this rank's final model checkpoint here")
 	fs.StringVar(&tf.resultOut, "result-out", "", "write this rank's result JSON here")
 	fs.StringVar(&tf.jsonOut, "json", "", "with -launch: write aggregated per-rank results here")
@@ -109,6 +115,7 @@ func (tf *trainFlags) trainConfig() distnet.TrainConfig {
 		B: tf.trainB, N: tf.seq,
 		BucketBytes: tf.bucketKB * 1024, Overlap: !tf.noOverlap,
 		FixedData: tf.fixedData, ProbeElems: 1 << 16,
+		Trace: tf.trace, TraceOut: tf.traceOut,
 	}
 }
 
@@ -202,6 +209,14 @@ func forkWorld(tf trainFlags, world int, overlap bool, paramsOutRank0 string, st
 		if tf.fixedData {
 			args = append(args, "-fixed-data")
 		}
+		if tf.trace {
+			// Clock sync and the shard exchange are collectives: every rank
+			// must trace, but only rank 0 writes the merged timeline.
+			args = append(args, "-trace")
+			if r == 0 && tf.traceOut != "" {
+				args = append(args, "-trace-out", tf.traceOut)
+			}
+		}
 		if r == 0 && paramsOutRank0 != "" {
 			args = append(args, "-params-out", paramsOutRank0)
 		}
@@ -273,6 +288,15 @@ func launchLocal(tf *trainFlags, stdout, stderr io.Writer, sd *runutil.Shutdown)
 	}
 	fmt.Fprintf(stdout, "loss %s %.4f -> %.4f over %d steps (mean across ranks)\n",
 		trend, meanFirst, meanLast, r0.Steps)
+	if tf.trace {
+		for _, r := range results[1:] {
+			fmt.Fprintf(stdout, "rank %d clock offset: %+.0fus\n", r.Rank, r.ClockOffsetUS)
+		}
+		trace.WriteStragglerTable(stdout, r0.Straggler)
+		if tf.traceOut != "" {
+			fmt.Fprintf(stdout, "wrote merged trace %s (open in https://ui.perfetto.dev)\n", tf.traceOut)
+		}
+	}
 	if tf.jsonOut != "" {
 		if err := writeJSON(tf.jsonOut, results); err != nil {
 			fmt.Fprintf(stderr, "bertdist: %v\n", err)

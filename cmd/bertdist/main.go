@@ -104,10 +104,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "bertdist: %v\n", err)
 			return 2
 		}
-		sd.Defer("metrics jsonl", func() { f.Close() })
+		em := obs.NewStepEmitter(f, dev.Peaks())
+		sd.Defer("metrics jsonl", func() {
+			if err := em.EmitFinal(obs.Default); err != nil {
+				fmt.Fprintf(stderr, "bertdist: metrics final: %v\n", err)
+			}
+			f.Close()
+		})
 		r := perfmodel.Run(opgraph.Build(w), dev)
 		rec := report.StepRecordFromResult(1, r)
-		if err := obs.NewStepEmitter(f, dev.Peaks()).Emit(rec); err != nil {
+		if err := em.Emit(rec); err != nil {
 			fmt.Fprintf(stderr, "bertdist: metrics emit: %v\n", err)
 			return 2
 		}

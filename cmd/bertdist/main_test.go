@@ -101,8 +101,12 @@ func TestMetricsJSONL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL records, want 2 (the step + final snapshot)", len(lines))
+	}
 	var rec map[string]any
-	if err := json.Unmarshal(data, &rec); err != nil {
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
 		t.Fatalf("record not valid JSON: %v", err)
 	}
 	if rec["step"] != float64(1) || rec["tokens_per_sec"] == float64(0) {
@@ -110,6 +114,13 @@ func TestMetricsJSONL(t *testing.T) {
 	}
 	if cats, ok := rec["categories"].([]any); !ok || len(cats) == 0 {
 		t.Fatalf("modeled record has no categories: %v", rec)
+	}
+	var final map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &final); err != nil {
+		t.Fatalf("final record not valid JSON: %v", err)
+	}
+	if _, ok := final["final_metrics"]; !ok {
+		t.Fatalf("last record is not the registry snapshot: %s", lines[1])
 	}
 }
 

@@ -85,8 +85,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "bertprof: %v\n", err)
 			return 2
 		}
-		sd.Defer("metrics jsonl", func() { f.Close() })
-		emitter = obs.NewStepEmitter(f, device.MI100().Peaks())
+		em := obs.NewStepEmitter(f, device.MI100().Peaks())
+		sd.Defer("metrics jsonl", func() {
+			if err := em.EmitFinal(obs.Default); err != nil {
+				fmt.Fprintf(stderr, "bertprof: metrics final: %v\n", err)
+			}
+			f.Close()
+		})
+		emitter = em
 	}
 
 	cfg := model.Config{

@@ -81,10 +81,17 @@ func TestMetricsJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("%d JSONL records, want 2", len(lines))
+	if len(lines) != 3 {
+		t.Fatalf("%d JSONL records, want 3 (2 steps + final snapshot)", len(lines))
 	}
-	for i, line := range lines {
+	var final map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &final); err != nil {
+		t.Fatalf("final record not valid JSON: %v", err)
+	}
+	if _, ok := final["final_metrics"]; !ok {
+		t.Fatalf("last record is not the registry snapshot: %s", lines[2])
+	}
+	for i, line := range lines[:2] {
 		var rec map[string]any
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			t.Fatalf("line %d not valid JSON: %v", i+1, err)

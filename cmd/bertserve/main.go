@@ -42,6 +42,7 @@ import (
 	"demystbert/internal/model"
 	"demystbert/internal/runutil"
 	"demystbert/internal/serve"
+	"demystbert/internal/trace"
 )
 
 func main() {
@@ -69,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "batch coalescing deadline (starvation bound)")
 	buckets := fs.String("buckets", "", "comma-separated length buckets (default: powers of two up to maxpos)")
 	queueCap := fs.Int("queue-cap", 4096, "admission queue capacity")
+
+	// Request tracing.
+	traceSample := fs.Int("trace-sample", 0, "trace 1 in N requests (0 = tracing off; client X-Trace-Id headers are always honored when on)")
+	traceOut := fs.String("trace-out", "", "write the span+kernel Perfetto timeline here on shutdown (requires -trace-sample)")
 
 	// Load generator.
 	loadgen := fs.Bool("loadgen", false, "run as load generator against -target instead of serving")
@@ -110,6 +115,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay,
 		Buckets: bkts, QueueCap: *queueCap,
 	}
+	if *traceSample > 0 {
+		ecfg.Tracer = trace.New(0, 0)
+		ecfg.Tracer.SetSampleEvery(*traceSample)
+	}
 	spec := serve.LoadSpec{
 		Rate: *rate, Duration: *duration,
 		MinLen: *minLen, MaxLen: *maxLen,
@@ -122,14 +131,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *loadgen:
 		return runLoadgen(spec, *target, stdout, stderr)
 	default:
-		return runServer(ecfg, *addr, stdout, stderr)
+		return runServer(ecfg, *addr, *traceOut, stdout, stderr)
 	}
 }
 
 // runServer serves until SIGINT/SIGTERM, then drains: HTTP first (stop
 // accepting, finish in-flight request bodies), engine second (answer
 // everything admitted).
-func runServer(ecfg serve.Config, addr string, stdout, stderr io.Writer) int {
+func runServer(ecfg serve.Config, addr, traceOut string, stdout, stderr io.Writer) int {
 	sd := runutil.Install(stderr)
 	defer sd.Drain()
 
@@ -139,6 +148,24 @@ func runServer(ecfg serve.Config, addr string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	done := make(chan struct{})
+	if traceOut != "" && ecfg.Tracer != nil {
+		// Registered before "drain engine" so it runs after: Defers run
+		// LIFO, and the dump must see the final in-flight spans land.
+		sd.Defer("trace dump", func() {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "bertserve: trace out: %v\n", err)
+				return
+			}
+			werr := engine.WriteTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(stderr, "bertserve: writing trace: %v\n", werr)
+			}
+		})
+	}
 	sd.Defer("drain engine", func() { engine.Close(); close(done) })
 	sd.Defer("drain http", func() { srv.ShutdownTimeout(5 * time.Second) })
 

@@ -75,8 +75,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "bertsweep: %v\n", err)
 			return 2
 		}
-		sd.Defer("metrics jsonl", func() { f.Close() })
-		emitter = obs.NewStepEmitter(f, dev.Peaks())
+		em := obs.NewStepEmitter(f, dev.Peaks())
+		sd.Defer("metrics jsonl", func() {
+			if err := em.EmitFinal(obs.Default); err != nil {
+				fmt.Fprintf(stderr, "bertsweep: metrics final: %v\n", err)
+			}
+			f.Close()
+		})
+		emitter = em
 	}
 	emit := func(point int, r *demystbert.Result) bool {
 		if emitter == nil {

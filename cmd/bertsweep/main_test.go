@@ -67,11 +67,18 @@ func TestMetricsJSONLPerPoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("%d JSONL records, want 3 (one per sweep point)", len(lines))
+	if len(lines) != 4 {
+		t.Fatalf("%d JSONL records, want 4 (one per sweep point + final snapshot)", len(lines))
+	}
+	var final map[string]any
+	if err := json.Unmarshal([]byte(lines[3]), &final); err != nil {
+		t.Fatalf("final record not valid JSON: %v", err)
+	}
+	if _, ok := final["final_metrics"]; !ok {
+		t.Fatalf("last record is not the registry snapshot: %s", lines[3])
 	}
 	var prevTokens float64
-	for i, line := range lines {
+	for i, line := range lines[:3] {
 		var rec map[string]any
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			t.Fatalf("line %d not valid JSON: %v", i+1, err)
@@ -97,8 +104,12 @@ func TestMetricsJSONLFixedSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL records, want 2 (the point + final snapshot)", len(lines))
+	}
 	var rec map[string]any
-	if err := json.Unmarshal(data, &rec); err != nil {
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
 		t.Fatalf("record not valid JSON: %v", err)
 	}
 	if rec["step"] != float64(1) {

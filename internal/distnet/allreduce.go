@@ -50,10 +50,11 @@ func (g *Group) AllReduce(tag uint32, buf []float32) error {
 		g.sendAsync(tag, seq, out)
 		payload, err := g.prev.readFrame(tag, seq, len(in))
 		if err != nil {
-			return g.collectFail(tag, err)
+			return g.collectFail(tag, countTimeout(deadlineReduce, err))
 		}
 		decodeSum(in, payload)
 		if err := <-g.sendErrCh; err != nil {
+			countTimeout(deadlineReduce, err)
 			return g.fail(fmt.Errorf("distnet: allreduce tag %#x send: %w", tag, err))
 		}
 	}
@@ -65,10 +66,11 @@ func (g *Group) AllReduce(tag uint32, buf []float32) error {
 		g.sendAsync(tag, seq, out)
 		payload, err := g.prev.readFrame(tag, seq, len(in))
 		if err != nil {
-			return g.collectFail(tag, err)
+			return g.collectFail(tag, countTimeout(deadlineGather, err))
 		}
 		decodeCopy(in, payload)
 		if err := <-g.sendErrCh; err != nil {
+			countTimeout(deadlineGather, err)
 			return g.fail(fmt.Errorf("distnet: allreduce tag %#x send: %w", tag, err))
 		}
 	}

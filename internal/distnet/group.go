@@ -97,6 +97,7 @@ func Join(cfg Config) (*Group, error) {
 		err = g.joinWorker(cfg)
 	}
 	if err != nil {
+		countTimeout(deadlineHandshake, err)
 		g.Close()
 		return nil, err
 	}
@@ -339,20 +340,24 @@ func (g *Group) Barrier() error {
 	if g.rank == 0 {
 		for r, c := range g.ctrls {
 			if _, err := c.readFrame(tagBarrier, 0, 0); err != nil {
+				countTimeout(deadlineBarrier, err)
 				return g.fail(fmt.Errorf("distnet: barrier: rank %d did not arrive: %w", r+1, err))
 			}
 		}
 		for r, c := range g.ctrls {
 			if err := c.writeRaw(tagBarrier, 1, nil); err != nil {
+				countTimeout(deadlineBarrier, err)
 				return g.fail(fmt.Errorf("distnet: barrier: releasing rank %d: %w", r+1, err))
 			}
 		}
 		return nil
 	}
 	if err := g.ctrl.writeRaw(tagBarrier, 0, nil); err != nil {
+		countTimeout(deadlineBarrier, err)
 		return g.fail(fmt.Errorf("distnet: barrier: %w", err))
 	}
 	if _, err := g.ctrl.readFrame(tagBarrier, 1, 0); err != nil {
+		countTimeout(deadlineBarrier, err)
 		return g.fail(fmt.Errorf("distnet: barrier: %w", err))
 	}
 	return nil

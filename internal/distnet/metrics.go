@@ -1,6 +1,11 @@
 package distnet
 
-import "demystbert/internal/obs"
+import (
+	"errors"
+	"net"
+
+	"demystbert/internal/obs"
+)
 
 // Transport and trainer telemetry, served at /metrics next to the
 // in-process ddp counters. The exposed-vs-overlapped histograms are the
@@ -30,4 +35,28 @@ var (
 	stepSeconds = obs.NewHistogram("distnet_step_wall_seconds",
 		"wall-clock time of one multi-process training step",
 		obs.ExpBuckets(1e-4, 4, 12))
+
+	// Per-op wire-deadline counters: which phase of the protocol a
+	// wedged or dead peer surfaced in. A deadline during handshake means
+	// a rank never arrived; during reduce/gather it localizes the hang
+	// to a ring half; during barrier it names the straggler path.
+	deadlineHandshake = obs.NewCounter("distnet_deadline_handshake_total",
+		"I/O deadline expiries during rendezvous, ring setup, or clock sync")
+	deadlineReduce = obs.NewCounter("distnet_deadline_reduce_total",
+		"I/O deadline expiries during reduce-scatter ring steps")
+	deadlineGather = obs.NewCounter("distnet_deadline_gather_total",
+		"I/O deadline expiries during all-gather ring steps")
+	deadlineBarrier = obs.NewCounter("distnet_deadline_barrier_total",
+		"I/O deadline expiries during barrier entry or release")
 )
+
+// countTimeout bumps c when err is a network timeout (an expired
+// read/write deadline) and passes err through either way — the
+// classification hook every protocol phase wraps its I/O errors with.
+func countTimeout(c *obs.Counter, err error) error {
+	var ne net.Error
+	if err != nil && errors.As(err, &ne) && ne.Timeout() {
+		c.Inc()
+	}
+	return err
+}

@@ -3,6 +3,7 @@ package distnet
 import (
 	"fmt"
 	"net"
+	"os"
 	"runtime"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"demystbert/internal/optim"
 	"demystbert/internal/profile"
 	"demystbert/internal/tensor"
+	"demystbert/internal/trace"
 )
 
 // TrainConfig describes one rank's share of a multi-process training
@@ -42,6 +44,17 @@ type TrainConfig struct {
 
 	ProbeElems  int // link probe size in float32s; 0 disables the probe
 	ProbeRounds int
+
+	// Trace enables step-scoped span recording on this rank: every rank
+	// derives the same per-step trace id locally (trace.StepTraceID), a
+	// handshake-time clock exchange measures each worker's offset from
+	// rank 0, and at end of run the workers ship their span shards to
+	// rank 0, which merges them into one aligned timeline and computes
+	// the per-step straggler report (Result.Straggler).
+	Trace bool
+	// TraceOut, on rank 0 with Trace set, writes the merged multi-rank
+	// Perfetto timeline (rank 0's kernel events ride along) to this path.
+	TraceOut string
 }
 
 // Result is one rank's training summary, JSON-serializable so worker
@@ -70,6 +83,13 @@ type Result struct {
 	WireBytesPerStep int64   `json:"wire_bytes_per_step"`
 	LinkBandwidth    float64 `json:"link_bandwidth_bytes_per_s"`
 	LinkLatencyUS    float64 `json:"link_latency_us"`
+
+	// ClockOffsetUS is this rank's measured clock offset from rank 0
+	// (NTP-style min-RTT estimate; zero on rank 0). Straggler is the
+	// per-step gating report over the merged, clock-aligned span set —
+	// rank 0 only, and only when TrainConfig.Trace was set.
+	ClockOffsetUS float64               `json:"clock_offset_us,omitempty"`
+	Straggler     []trace.StepStraggler `json:"straggler,omitempty"`
 }
 
 // Trainer runs one rank of multi-process data-parallel training:
@@ -81,6 +101,11 @@ type Trainer struct {
 	Ctx *nn.Ctx
 	Opt *optim.LAMB
 
+	// Tracer, when non-nil, records step/fwd/bwd/upd/allreduce spans
+	// under the deterministic per-step trace id. Set it before the first
+	// Step (Train wires it from TrainConfig.Trace).
+	Tracer *trace.Tracer
+
 	plan    *Plan
 	overlap bool
 	inv     float32
@@ -90,7 +115,8 @@ type Trainer struct {
 	ready        chan int // bucket indices, fed by the grad hook in launch order
 	launched     int
 	bwdStart     time.Time
-	groupReadyAt []time.Duration // when each grad group's last gradient landed
+	groupReadyAt []time.Duration   // when each grad group's last gradient landed
+	stepSC       trace.SpanContext // current step's span context, read by commLoop
 }
 
 // stepStats carries one step's timing decomposition.
@@ -172,11 +198,30 @@ func (t *Trainer) commLoop(done chan<- commStats) {
 			cs.err = err
 			continue
 		}
-		cs.comm += time.Since(c0)
+		d := time.Since(c0)
+		cs.comm += d
+		t.recordComm(idx, c0, d)
 		t.plan.ScatterScale(b, t.inv)
 		bucketsReduced.Inc()
 	}
 	done <- cs
+}
+
+// recordComm logs one bucket's AllReduce as an "allreduce.b<idx>" span
+// under the current step's context — the name trace.Stragglers parses to
+// attribute per-bucket exposed communication.
+func (t *Trainer) recordComm(idx int, start time.Time, d time.Duration) {
+	if t.Tracer == nil {
+		return
+	}
+	t.Tracer.Record(trace.Span{
+		Trace:  t.stepSC.Trace,
+		Parent: t.stepSC.Parent,
+		Name:   fmt.Sprintf("allreduce.b%d", idx),
+		Step:   t.step + 1,
+		Start:  start,
+		Dur:    d,
+	})
 }
 
 // Step trains one iteration on this rank's batch shard and returns the
@@ -186,12 +231,23 @@ func (t *Trainer) Step(b *data.Batch) (float64, stepStats, error) {
 	if err := t.G.errNow(); err != nil {
 		return 0, st, err
 	}
+	// Steps are 1-based in the trace so trace.Stragglers's zero-step
+	// filter never eats real data. Every rank derives the same trace id
+	// locally; the root span id is minted here and children hang off it.
+	stepIdx := t.step + 1
+	var rootID trace.SpanID
+	if t.Tracer != nil {
+		t.stepSC = t.Tracer.FixedTrace(trace.StepTraceID(stepIdx))
+		rootID = t.Tracer.NewSpanID()
+		t.stepSC.Parent = rootID
+		t.Ctx.Span = t.stepSC
+	}
 	stepStart := time.Now()
 	t.Ctx.Prof.BeginIteration()
 
-	t0 := time.Now()
+	fwdStart := time.Now()
 	loss := t.M.Forward(t.Ctx, b)
-	st.fwd = time.Since(t0)
+	st.fwd = time.Since(fwdStart)
 
 	var done chan commStats
 	if t.overlap {
@@ -223,19 +279,37 @@ func (t *Trainer) Step(b *data.Batch) (float64, stepStats, error) {
 			if err := t.G.AllReduce(t.bucketTag(i), t.plan.Slice(b)); err != nil {
 				return 0, st, err
 			}
-			st.comm += time.Since(c0)
+			d := time.Since(c0)
+			st.comm += d
+			t.recordComm(i, c0, d)
 			t.plan.ScatterScale(b, t.inv)
 			bucketsReduced.Inc()
 		}
 		st.exposed = st.comm
 	}
 
-	t0 = time.Now()
+	updStart := time.Now()
 	t.Opt.Step(t.Ctx, t.M.Params())
 	t.M.ZeroGrads()
-	st.upd = time.Since(t0)
+	st.upd = time.Since(updStart)
 
 	st.wall = time.Since(stepStart)
+	if t.Tracer != nil {
+		tid := t.stepSC.Trace
+		phase := func(name string, start time.Time, d time.Duration) {
+			t.Tracer.Record(trace.Span{
+				Trace: tid, Parent: rootID, Name: name,
+				Step: stepIdx, Start: start, Dur: d,
+			})
+		}
+		phase("fwd", fwdStart, st.fwd)
+		phase("bwd", t.bwdStart, st.bwd)
+		phase("upd", updStart, st.upd)
+		t.Tracer.Record(trace.Span{
+			Trace: tid, ID: rootID, Name: "step",
+			Step: stepIdx, Start: stepStart, Dur: st.wall,
+		})
+	}
 	st.groupReadyAt = append([]time.Duration(nil), t.groupReadyAt...)
 	t.step++
 
@@ -296,6 +370,20 @@ func Train(cfg TrainConfig) (*Result, *model.BERT, error) {
 		res.BucketKB = append(res.BucketKB, float64(t.plan.List[i].Len)*4/1024)
 	}
 
+	// Clock sync is a collective, so Trace must be set identically on
+	// every rank (the launcher guarantees this for -launch runs).
+	var clockOff time.Duration
+	if cfg.Trace {
+		t.Tracer = trace.New(g.Rank(), 0)
+		t.Ctx.Tracer = t.Tracer
+		off, err := g.ClockSync(DefaultClockRounds)
+		if err != nil {
+			return nil, nil, err
+		}
+		clockOff = off
+		res.ClockOffsetUS = float64(off) / float64(time.Microsecond)
+	}
+
 	if g.World() > 1 && cfg.ProbeElems > 0 {
 		rounds := cfg.ProbeRounds
 		if rounds == 0 {
@@ -322,8 +410,15 @@ func Train(cfg TrainConfig) (*Result, *model.BERT, error) {
 		// while peers still drain, which on a shared host would bill
 		// peer compute time as exposed communication. Blocked ranks
 		// sleep in a socket read — they cost no CPU.
+		b0 := time.Now()
 		if err := g.Barrier(); err != nil {
 			return nil, nil, err
+		}
+		if t.Tracer != nil {
+			t.Tracer.Record(trace.Span{
+				Trace: trace.StepTraceID(step + 1), Name: "barrier",
+				Step: step + 1, Start: b0, Dur: time.Since(b0),
+			})
 		}
 		// Generate the whole global batch, keep this rank's shard: every
 		// rank advances the shared generator identically.
@@ -374,6 +469,37 @@ func Train(cfg TrainConfig) (*Result, *model.BERT, error) {
 		}
 		tx, rx := g.WireBytes()
 		res.WireBytesPerStep = (tx - txBefore + rx - rxBefore) / int64(cfg.Steps)
+	}
+
+	// Ship span shards home: workers attach their measured clock offset
+	// so rank 0 can merge every rank onto one aligned timeline, derive
+	// the straggler report, and (optionally) write the Perfetto file with
+	// its own kernel events riding along on a separate track.
+	if t.Tracer != nil {
+		sh := trace.Shard{Rank: g.Rank(), Offset: clockOff, Spans: t.Tracer.Spans()}
+		if g.Rank() == 0 {
+			shards, err := g.GatherTraceShards(sh)
+			if err != nil {
+				return nil, nil, err
+			}
+			merged := trace.Merge(shards)
+			res.Straggler = trace.Stragglers(merged)
+			if cfg.TraceOut != "" {
+				f, err := os.Create(cfg.TraceOut)
+				if err != nil {
+					return nil, nil, fmt.Errorf("distnet: trace out: %w", err)
+				}
+				werr := trace.WriteChromeTrace(f, merged, t.Ctx.Prof.Events())
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					return nil, nil, fmt.Errorf("distnet: writing trace: %w", werr)
+				}
+			}
+		} else if err := g.SendTraceShard(sh); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// Keep the group alive until every rank is done training, so nobody

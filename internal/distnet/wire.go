@@ -43,6 +43,8 @@ const (
 	tagHello   = 0xC0000001 // worker -> rank 0: version, rank, world, listen addr
 	tagTable   = 0xC0000002 // rank 0 -> worker: data listener address table
 	tagBarrier = 0xC0000003
+	tagClock   = 0xC0000004 // clock-offset ping-pong (worker t1 -> rank 0 t2)
+	tagShard   = 0xC0000005 // worker -> rank 0: JSON trace shard at end of run
 	tagProbe   = 0xF0000000 // probe collectives: tagProbe+i
 )
 

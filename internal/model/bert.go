@@ -315,8 +315,12 @@ func (m *BERT) GradGroups() [][]*nn.Param {
 // update decomposition.
 func (m *BERT) Step(ctx *nn.Ctx, b *data.Batch) float64 {
 	ctx.Prof.BeginIteration()
+	sp := ctx.StartSpan("fwd")
 	loss := m.Forward(ctx, b)
+	sp.End()
+	sp = ctx.StartSpan("bwd")
 	m.Backward(ctx)
+	sp.End()
 	return loss
 }
 

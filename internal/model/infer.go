@@ -8,6 +8,7 @@ import (
 	"demystbert/internal/nn"
 	"demystbert/internal/profile"
 	"demystbert/internal/tensor"
+	"demystbert/internal/trace"
 )
 
 // This file is the frozen-weight inference surface of the model: a
@@ -27,11 +28,36 @@ func (m *BERT) EncodeEval(ctx *nn.Ctx, b *data.Batch) *tensor.Tensor {
 	ctx.Train = false
 	defer func() { ctx.Train = prevTrain }()
 
+	sp := ctx.StartSpan("embed")
 	h := m.Embed.Forward(ctx, b.Tokens, b.Segments, b.B, b.N)
-	for _, layer := range m.Layers {
+	sp.End()
+	for i, layer := range m.Layers {
+		// Recording gate keeps the layerName lookup (and any Sprintf
+		// fallback) off the tracing-off path entirely.
+		var ls trace.ActiveSpan
+		if ctx.Tracer != nil && ctx.Span.Sampled() {
+			ls = ctx.StartSpan(layerName(i))
+		}
 		h = layer.Forward(ctx, h, b.B, b.N, b.Mask)
+		ls.End()
 	}
 	return h
+}
+
+// layerNames pre-renders span names for the layer depths real configs
+// use, so the sampled path does not Sprintf per layer either.
+var layerNames = [...]string{
+	"layer0", "layer1", "layer2", "layer3", "layer4", "layer5",
+	"layer6", "layer7", "layer8", "layer9", "layer10", "layer11",
+	"layer12", "layer13", "layer14", "layer15", "layer16", "layer17",
+	"layer18", "layer19", "layer20", "layer21", "layer22", "layer23",
+}
+
+func layerName(i int) string {
+	if i >= 0 && i < len(layerNames) {
+		return layerNames[i]
+	}
+	return fmt.Sprintf("layer%d", i)
 }
 
 // PredictMaskedAt runs a forward-only inference pass and returns, for

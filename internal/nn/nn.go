@@ -18,6 +18,7 @@ import (
 	"demystbert/internal/kernels"
 	"demystbert/internal/profile"
 	"demystbert/internal/tensor"
+	"demystbert/internal/trace"
 )
 
 // Param is a trainable parameter tensor with its gradient accumulator.
@@ -110,6 +111,21 @@ type Ctx struct {
 	// of sampling a fresh one, so recomputed activations are bit-identical
 	// to the originals.
 	Recompute bool
+
+	// Tracer and Span carry request/step-scoped trace identity through
+	// the model's forward/backward plumbing, so phase spans (embed,
+	// per-layer, MLM head) land in the same trace as the serving request
+	// or training step that dispatched them. Both are optional: a nil
+	// Tracer or unsampled Span makes StartSpan free.
+	Tracer *trace.Tracer
+	Span   trace.SpanContext
+}
+
+// StartSpan opens a model-phase span under the context's ambient trace.
+// The zero handle comes back (allocation- and syscall-free) when the
+// context carries no sampled trace.
+func (c *Ctx) StartSpan(name string) trace.ActiveSpan {
+	return c.Tracer.StartSpan(c.Span, name)
 }
 
 // NewCtx returns a training context with a fresh profiler and the given

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
@@ -103,11 +104,14 @@ func NewCategoryStep(c profile.Category, st profile.Stat, peaks Peaks) CategoryS
 }
 
 // StepEmitter writes one JSON record per training step to a stream —
-// the flight recorder a dashboard or plotting pipeline tails. Safe for
+// the flight recorder a dashboard or plotting pipeline tails. Writes
+// are buffered (one small write syscall per step instead of several);
+// callers register Flush on their shutdown path (runutil.Shutdown) so
+// an interrupted run still lands its completed steps on disk. Safe for
 // concurrent use.
 type StepEmitter struct {
 	mu    sync.Mutex
-	w     io.Writer
+	bw    *bufio.Writer
 	peaks Peaks
 	enc   *json.Encoder
 }
@@ -115,7 +119,8 @@ type StepEmitter struct {
 // NewStepEmitter wraps w. peaks may be zero-valued when no device model
 // applies (the peak-fraction fields are then omitted).
 func NewStepEmitter(w io.Writer, peaks Peaks) *StepEmitter {
-	return &StepEmitter{w: w, peaks: peaks, enc: json.NewEncoder(w)}
+	bw := bufio.NewWriter(w)
+	return &StepEmitter{bw: bw, peaks: peaks, enc: json.NewEncoder(bw)}
 }
 
 // Emit writes rec as one JSON line.
@@ -123,6 +128,33 @@ func (e *StepEmitter) Emit(rec StepRecord) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.enc.Encode(rec)
+}
+
+// Flush forces buffered records to the underlying writer.
+func (e *StepEmitter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bw.Flush()
+}
+
+// finalRecord is the terminal JSONL line: the full registry snapshot at
+// shutdown, so the stream carries the run's closing counters (requests
+// served, deadline hits, padding waste) alongside its per-step rows.
+type finalRecord struct {
+	FinalMetrics []Metric `json:"final_metrics"`
+}
+
+// EmitFinal appends the registry's closing snapshot as a final
+// {"final_metrics": [...]} line and flushes. Nil registry flushes only.
+func (e *StepEmitter) EmitFinal(r *Registry) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r != nil {
+		if err := e.enc.Encode(finalRecord{FinalMetrics: r.Snapshot()}); err != nil {
+			return err
+		}
+	}
+	return e.bw.Flush()
 }
 
 // EmitStep builds a record from the step's summary and writes it.

@@ -74,6 +74,9 @@ func TestStepEmitterOneLinePerStep(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	sc := bufio.NewScanner(strings.NewReader(sb.String()))
 	var lines int
 	for sc.Scan() {

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric (events, bytes, cache
@@ -73,7 +74,22 @@ type Histogram struct {
 	bounds     []float64 // ascending inclusive upper bounds
 	counts     []atomic.Int64
 	sumBits    atomic.Uint64
+	ex         atomic.Pointer[exemplar]
 }
+
+// exemplar is the trace-linked worst recent observation — tail-latency
+// forensics: the histogram says p99 moved, the exemplar says which
+// request to pull up in /debug/requests or the Perfetto trace.
+type exemplar struct {
+	value   float64
+	traceID uint64
+	at      int64 // unix nanos when recorded
+}
+
+// exemplarStaleNanos is how long a peak observation pins the exemplar
+// before any newer observation may replace it, so the exemplar tracks
+// the *recent* tail rather than the all-time max.
+const exemplarStaleNanos = int64(60 * time.Second)
 
 // Observe records one value. Allocation-free.
 func (h *Histogram) Observe(v float64) {
@@ -89,6 +105,25 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-zero,
+// offers it as the histogram's exemplar. The exemplar is replaced when
+// the new value is at least the current one or the current one has gone
+// stale (exemplarStaleNanos old). With traceID zero this is exactly
+// Observe — still allocation-free, which keeps the tracing-off serving
+// path clean; a replacement allocates one small struct, which only
+// happens on a new recent-worst observation.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	cur := h.ex.Load()
+	if cur != nil && v < cur.value && time.Now().UnixNano()-cur.at < exemplarStaleNanos {
+		return
+	}
+	h.ex.Store(&exemplar{value: v, traceID: traceID, at: time.Now().UnixNano()})
 }
 
 // Count returns the total number of observations.
@@ -232,14 +267,24 @@ func (b *Bucket) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// Exemplar is the exported form of a histogram's trace-linked worst
+// recent observation. TraceID is the 16-hex-digit form clients paste
+// into /debug/requests or grep in a trace export.
+type Exemplar struct {
+	Value    float64 `json:"value"`
+	TraceID  string  `json:"trace_id"`
+	UnixNano int64   `json:"unix_nano"`
+}
+
 // Metric is the point-in-time value of one registered metric.
 type Metric struct {
-	Name    string   `json:"name"`
-	Kind    string   `json:"kind"` // "counter", "gauge", or "histogram"
-	Desc    string   `json:"desc,omitempty"`
-	Value   float64  `json:"value"`             // counter/gauge value; histogram count
-	Sum     float64  `json:"sum,omitempty"`     // histogram only
-	Buckets []Bucket `json:"buckets,omitempty"` // histogram only, cumulative
+	Name     string    `json:"name"`
+	Kind     string    `json:"kind"` // "counter", "gauge", or "histogram"
+	Desc     string    `json:"desc,omitempty"`
+	Value    float64   `json:"value"`              // counter/gauge value; histogram count
+	Sum      float64   `json:"sum,omitempty"`      // histogram only
+	Buckets  []Bucket  `json:"buckets,omitempty"`  // histogram only, cumulative
+	Exemplar *Exemplar `json:"exemplar,omitempty"` // histogram only, may be nil
 }
 
 func (c *Counter) snapshot() Metric {
@@ -262,6 +307,13 @@ func (h *Histogram) snapshot() Metric {
 		m.Buckets = append(m.Buckets, Bucket{UpperBound: ub, Count: cum})
 	}
 	m.Value = float64(cum)
+	if ex := h.ex.Load(); ex != nil {
+		m.Exemplar = &Exemplar{
+			Value:    ex.value,
+			TraceID:  fmt.Sprintf("%016x", ex.traceID),
+			UnixNano: ex.at,
+		}
+	}
 	return m
 }
 

@@ -33,6 +33,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				bw.WriteString(promFloat(b.UpperBound))
 				bw.WriteString(`"} `)
 				bw.WriteString(strconv.FormatInt(b.Count, 10))
+				// OpenMetrics-style exemplar on the +Inf bucket: links
+				// the histogram's worst recent observation to its trace.
+				if m.Exemplar != nil && math.IsInf(b.UpperBound, 1) {
+					bw.WriteString(` # {trace_id="`)
+					bw.WriteString(m.Exemplar.TraceID)
+					bw.WriteString(`"} `)
+					bw.WriteString(promFloat(m.Exemplar.Value))
+					bw.WriteByte(' ')
+					bw.WriteString(promFloat(float64(m.Exemplar.UnixNano) / 1e9))
+				}
 				bw.WriteByte('\n')
 			}
 			bw.WriteString(m.Name)

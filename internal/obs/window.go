@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Window is a fixed-capacity ring of recent observations backing
+// rolling-window quantile gauges. A cumulative histogram answers "what
+// was p99 since boot"; a window answers "what is p99 right now", which
+// is what a load test or a dashboard watching a latency regression
+// actually wants. Observe is a mutex plus one store — no allocation
+// after construction — and the sort cost lives entirely at snapshot
+// (scrape) time.
+type Window struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+}
+
+// DefaultWindowCap holds roughly the last few seconds of a loaded
+// serving run (at ~1k req/s) — recent enough to track a moving tail.
+const DefaultWindowCap = 4096
+
+// NewWindow returns a window retaining the last capacity observations
+// (DefaultWindowCap when capacity <= 0).
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = DefaultWindowCap
+	}
+	return &Window{buf: make([]float64, 0, capacity)}
+}
+
+// Observe appends one value, evicting the oldest at capacity.
+func (w *Window) Observe(v float64) {
+	w.mu.Lock()
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, v)
+	} else {
+		w.buf[w.next] = v
+		w.full = true
+	}
+	w.next = (w.next + 1) % cap(w.buf)
+	w.mu.Unlock()
+}
+
+// Quantile returns the q-th quantile (0..1, nearest-rank) of the
+// retained observations; NaN when empty.
+func (w *Window) Quantile(q float64) float64 {
+	w.mu.Lock()
+	tmp := append([]float64(nil), w.buf...)
+	w.mu.Unlock()
+	if len(tmp) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(tmp)
+	i := int(math.Ceil(q*float64(len(tmp)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(tmp) {
+		i = len(tmp) - 1
+	}
+	return tmp[i]
+}
+
+// Len returns the number of retained observations.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// quantileGauge is a registered gauge whose value is computed from a
+// Window at snapshot time.
+type quantileGauge struct {
+	name, desc string
+	w          *Window
+	q          float64
+}
+
+func (g *quantileGauge) metricName() string { return g.name }
+
+func (g *quantileGauge) snapshot() Metric {
+	v := g.w.Quantile(g.q)
+	if math.IsNaN(v) {
+		v = 0
+	}
+	return Metric{Name: g.name, Kind: "gauge", Desc: g.desc, Value: v}
+}
+
+// NewQuantileGauge registers a gauge that reports the q-th quantile of
+// w's rolling window whenever the registry is snapshotted or scraped.
+// Several gauges (p50, p99) may share one window.
+func (r *Registry) NewQuantileGauge(name, desc string, w *Window, q float64) {
+	r.register(&quantileGauge{name: name, desc: desc, w: w, q: q})
+}
+
+// NewQuantileGauge registers a window-quantile gauge in Default.
+func NewQuantileGauge(name, desc string, w *Window, q float64) {
+	Default.NewQuantileGauge(name, desc, w, q)
+}

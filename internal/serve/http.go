@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"demystbert/internal/obs"
+	"demystbert/internal/trace"
 )
 
 // HTTP front-end for the engine. One POST endpoint accepts a tokenized
@@ -16,6 +17,13 @@ import (
 //	POST /v1/mlm      {"tokens": [...], "segments": [...]} -> Response
 //	GET  /healthz     200 "ok" while serving, 503 while draining
 //	GET  /metrics     obs registry (plus /metrics.json, /debug/pprof/*)
+//	GET  /debug/requests   recent requests, per-stage latency breakdown
+//
+// Every answered /v1/mlm response carries an X-Trace-Id header; sending
+// the same header on a request adopts (and force-samples) that id, so a
+// client can stitch its own ids through the scheduler. The id keys into
+// /debug/requests (?trace=<id> filters to one request) and into the
+// span/kernel timeline a traced engine exports via Engine.WriteTrace.
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -38,6 +46,14 @@ func Handler(e *Engine, reg *obs.Registry) http.Handler {
 			writeErr(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
 			return
 		}
+		if h := r.Header.Get("X-Trace-Id"); h != "" {
+			id, ok := trace.ParseTraceID(h)
+			if !ok {
+				writeErr(w, http.StatusBadRequest, "X-Trace-Id must be 16 hex digits")
+				return
+			}
+			req.TraceID = id
+		}
 		resp, err := e.Submit(&req)
 		if err != nil {
 			var bad *BadRequestError
@@ -56,7 +72,26 @@ func Handler(e *Engine, reg *obs.Registry) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Trace-Id", resp.TraceID)
 		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, ok := trace.ParseTraceID(q)
+			if !ok {
+				writeErr(w, http.StatusBadRequest, "trace must be 16 hex digits")
+				return
+			}
+			rec, found := e.FindRequest(id)
+			if !found {
+				writeErr(w, http.StatusNotFound, "trace not in the recent-requests ring")
+				return
+			}
+			json.NewEncoder(w).Encode(rec)
+			return
+		}
+		json.NewEncoder(w).Encode(e.RecentRequests())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		e.mu.RLock()

@@ -28,6 +28,8 @@ var (
 
 	queueDepth = obs.NewGauge("serve_queue_depth",
 		"requests waiting in the scheduler (queued or coalescing)")
+	queueCap = obs.NewGauge("serve_queue_cap",
+		"admission queue capacity (queue depth saturates here)")
 
 	batchSizeHist = obs.NewHistogram("serve_batch_size",
 		"requests per dispatched batch",
@@ -35,10 +37,28 @@ var (
 	queueWaitMS = obs.NewHistogram("serve_queue_wait_ms",
 		"time from admission to batch dispatch, milliseconds",
 		obs.ExpBuckets(0.05, 2, 18))
+	// Latency buckets are tuned to the measured operating band: the
+	// BENCH_serve sweep lands p50 between 3.9 and 9.2 ms across batch
+	// configurations, so that range gets 0.5 ms resolution (the old
+	// power-of-two ladder jumped 3.2→6.4→12.8 and blurred every
+	// configuration into two buckets). Sub-ms and tail ranges keep
+	// coarser coverage for loadgen sweeps and overload states.
 	latencyMS = obs.NewHistogram("serve_latency_ms",
 		"time from admission to completed predictions, milliseconds",
-		obs.ExpBuckets(0.05, 2, 18))
+		[]float64{0.25, 0.5, 1, 2, 3, 3.5, 4, 4.5, 5, 5.5, 6, 6.5, 7,
+			7.5, 8, 8.5, 9, 9.5, 10, 12, 16, 24, 48, 96, 200, 500})
 	modelMS = obs.NewHistogram("serve_model_ms",
 		"forward-pass wall time per dispatched batch, milliseconds",
 		obs.ExpBuckets(0.05, 2, 18))
+
+	// latencyWindow backs the rolling p50/p99 gauges: what the latency
+	// distribution looks like *now*, not since boot.
+	latencyWindow = obs.NewWindow(obs.DefaultWindowCap)
 )
+
+func init() {
+	obs.NewQuantileGauge("serve_latency_p50_ms",
+		"rolling-window median request latency, milliseconds", latencyWindow, 0.50)
+	obs.NewQuantileGauge("serve_latency_p99_ms",
+		"rolling-window p99 request latency, milliseconds", latencyWindow, 0.99)
+}

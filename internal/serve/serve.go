@@ -32,7 +32,9 @@ import (
 	"demystbert/internal/kernels"
 	"demystbert/internal/model"
 	"demystbert/internal/nn"
+	"demystbert/internal/profile"
 	"demystbert/internal/tensor"
+	"demystbert/internal/trace"
 )
 
 // Admission errors. BadRequestError (a distinct type) marks client
@@ -76,6 +78,15 @@ type Config struct {
 	// QueueCap bounds the admission queue (default 4096); a full queue
 	// rejects with ErrOverloaded.
 	QueueCap int
+
+	// Tracer, when non-nil, enables request-scoped tracing: every
+	// sampled request records enqueue/bucket-wait/batch-assembly/
+	// forward/respond stage spans, batches record a span the model's
+	// phase spans nest under, and kernel events are captured alongside
+	// on the same wall clock (WriteTrace exports both). Nil keeps the
+	// hot path exactly as before — no clock reads beyond the existing
+	// ones, no allocations.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) setDefaults() error {
@@ -114,6 +125,10 @@ type Request struct {
 	Tokens []int `json:"tokens"`
 	// Segments are optional sentence A/B ids (all zero when omitted).
 	Segments []int `json:"segments,omitempty"`
+	// TraceID, when non-zero, adopts a caller-supplied trace identity
+	// (the HTTP layer fills it from the X-Trace-Id request header); zero
+	// mints a fresh id. Not part of the JSON body.
+	TraceID trace.TraceID `json:"-"`
 }
 
 // Prediction is the model's token choice for one masked position.
@@ -132,15 +147,22 @@ type Response struct {
 	BatchSize int     `json:"batch_size"`
 	QueueMS   float64 `json:"queue_ms"`
 	TotalMS   float64 `json:"total_ms"`
+	// TraceID is the request's trace identity (also the X-Trace-Id
+	// response header); /debug/requests decomposes its latency by stage.
+	TraceID string `json:"trace_id"`
 }
 
-// pending is one admitted request waiting in the scheduler.
+// pending is one admitted request waiting in the scheduler. enq and tq
+// bracket admission; the scheduler's timestamps travel back in result,
+// so the five stage durations partition [enq, receive] exactly.
 type pending struct {
 	tokens    []int
 	segments  []int
 	positions []int
 	bucket    int
-	enq       time.Time
+	enq       time.Time         // t0: Submit entry
+	tq        time.Time         // after the queue send — enqueue stage end
+	sc        trace.SpanContext // sampled trace identity (zero = off)
 	done      chan result
 }
 
@@ -148,6 +170,10 @@ type result struct {
 	preds     []Prediction
 	batchSize int
 	queued    time.Duration
+	seq       int64     // batch sequence number
+	td        time.Time // batch dispatch (bucket-wait stage end)
+	ta        time.Time // forward start (batch-assembly stage end)
+	tf        time.Time // forward end
 	err       error
 }
 
@@ -164,9 +190,31 @@ type Engine struct {
 	stop   chan struct{}
 	done   chan struct{}
 
+	// Tracing state. tracer comes from Config; prof captures kernel
+	// events on the same wall clock when tracing is on (nil otherwise,
+	// which is the profile package's free path). seq numbers batches —
+	// it doubles as the span Step, linking every request in a batch to
+	// the batch's kernel events. reqLog is the /debug/requests ring,
+	// always on (bounded, no per-entry allocation).
+	tracer *trace.Tracer
+	prof   *profile.Profiler
+	seq    int64 // runner goroutine only
+
+	logMu   sync.Mutex
+	log     []reqRecord
+	logNext int
+
 	// WarmedPacks counts weight packs built by the load-time warmup.
 	WarmedPacks int
 }
+
+// requestLogCap bounds the /debug/requests ring.
+const requestLogCap = 256
+
+// profEventCap bounds retained kernel events while tracing: past it the
+// profiler resets, so a long-lived traced server keeps the most recent
+// window rather than growing without bound.
+const profEventCap = 1 << 18
 
 // New builds the model, installs the GEMM path, pre-packs every
 // inference weight (so the first request is as fast as the thousandth
@@ -186,11 +234,21 @@ func New(cfg Config) (*Engine, error) {
 		m:   m,
 		// Eval-only context: nil profiler (alloc-free no-op path), no
 		// RNG use (dropout inactive), Train permanently false.
-		ctx:   &nn.Ctx{Train: false},
-		queue: make(chan *pending, cfg.QueueCap),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		ctx:    &nn.Ctx{Train: false},
+		queue:  make(chan *pending, cfg.QueueCap),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		tracer: cfg.Tracer,
+		log:    make([]reqRecord, 0, requestLogCap),
 	}
+	if e.tracer != nil {
+		// Tracing on: capture kernel events on the shared wall clock so
+		// WriteTrace can nest them under batch spans.
+		e.prof = profile.New()
+		e.ctx.Prof = e.prof
+		e.ctx.Tracer = e.tracer
+	}
+	queueCap.Set(float64(cfg.QueueCap))
 	e.WarmedPacks = m.WarmupInference()
 	go e.run()
 	return e, nil
@@ -252,12 +310,32 @@ func (e *Engine) Submit(req *Request) (*Response, error) {
 		reqsRejected.Inc()
 		return nil, err
 	}
+	// Every request gets a trace id (the X-Trace-Id contract holds with
+	// tracing off or sampled out); only sampled ones record spans. A
+	// caller-supplied id is adopted and always sampled — forced tracing
+	// of a specific request is the debugging use case.
+	tid := req.TraceID
+	var sc trace.SpanContext
+	if tid == 0 {
+		tid, sc = e.tracer.NewTrace()
+	} else {
+		sc = e.tracer.FixedTrace(tid)
+	}
+	var rootID trace.SpanID
+	if sc.Sampled() {
+		// Pre-mint the request root span's id so the batch span (opened
+		// by the scheduler before this span is recorded) can nest under
+		// it.
+		rootID = e.tracer.NewSpanID()
+		sc.Parent = rootID
+	}
 	p := &pending{
 		tokens:    req.Tokens,
 		segments:  req.Segments,
 		positions: positions,
 		bucket:    bkt,
 		enq:       time.Now(),
+		sc:        sc,
 		done:      make(chan result, 1),
 	}
 
@@ -278,23 +356,53 @@ func (e *Engine) Submit(req *Request) (*Response, error) {
 		reqsRejected.Inc()
 		return nil, ErrOverloaded
 	}
+	p.tq = time.Now()
 	reqsTotal.Inc()
 	queueDepth.Add(1)
 
 	r := <-p.done
 	if r.err != nil {
+		e.logRequest(reqRecord{trace: tid, start: p.enq, tokens: len(p.tokens),
+			seq: r.seq, total: time.Since(p.enq), err: r.err.Error()})
 		return nil, r.err
 	}
-	total := time.Since(p.enq)
-	latencyMS.Observe(1e3 * total.Seconds())
+	tr := time.Now()
+	total := tr.Sub(p.enq)
+	ms := 1e3 * total.Seconds()
+	latencyMS.ObserveExemplar(ms, uint64(tid))
+	latencyWindow.Observe(ms)
 	reqsServed.Inc()
 	predsTotal.Add(int64(len(r.preds)))
+
+	if sc.Sampled() {
+		step := int(r.seq)
+		e.tracer.Record(trace.Span{Trace: tid, ID: rootID, Name: "request",
+			Step: step, Start: p.enq, Dur: total})
+		stage := func(name string, from, to time.Time) {
+			e.tracer.Record(trace.Span{Trace: tid, Parent: rootID, Name: name,
+				Step: step, Start: from, Dur: to.Sub(from)})
+		}
+		stage("enqueue", p.enq, p.tq)
+		stage("bucket_wait", p.tq, r.td)
+		stage("batch_assembly", r.td, r.ta)
+		stage("forward", r.ta, r.tf)
+		stage("respond", r.tf, tr)
+	}
+	e.logRequest(reqRecord{
+		trace: tid, start: p.enq,
+		tokens: len(p.tokens), preds: len(r.preds),
+		bucket: bkt, batchSize: r.batchSize, seq: r.seq,
+		enqueue: p.tq.Sub(p.enq), bucketWait: r.td.Sub(p.tq),
+		assembly: r.ta.Sub(r.td), forward: r.tf.Sub(r.ta),
+		respond: tr.Sub(r.tf), total: total,
+	})
 	return &Response{
 		Predictions: r.preds,
 		Bucket:      bkt,
 		BatchSize:   r.batchSize,
 		QueueMS:     1e3 * r.queued.Seconds(),
-		TotalMS:     1e3 * total.Seconds(),
+		TotalMS:     ms,
+		TraceID:     tid.String(),
 	}, nil
 }
 
@@ -441,14 +549,16 @@ func (e *Engine) runBatch(bkt int, reqs []*pending) {
 	if len(reqs) == 0 {
 		return
 	}
-	start := time.Now()
+	e.seq++
+	seq := e.seq
+	td := time.Now()
 	defer func() {
 		// A panic in the model must not kill the scheduler: deliver the
 		// failure to this batch's requests and keep serving.
 		if r := recover(); r != nil {
 			err := fmt.Errorf("serve: batch failed: %v\n%s", r, debug.Stack())
 			for _, p := range reqs {
-				p.done <- result{err: err}
+				p.done <- result{err: err, seq: seq}
 			}
 		}
 	}()
@@ -486,21 +596,47 @@ func (e *Engine) runBatch(bkt int, reqs []*pending) {
 		}
 	}
 
+	// When any rider is sampled, the batch records a span under that
+	// request's root; the model's phase spans (embed, layerN) nest under
+	// it, and the profiler's kernel events share the iteration index —
+	// that is the request→batch→kernel linkage WriteTrace exports.
+	var bsp trace.ActiveSpan
+	if e.tracer != nil {
+		for _, p := range reqs {
+			if p.sc.Sampled() {
+				bsp = e.tracer.StartSpan(p.sc, "batch").WithStep(int(seq))
+				break
+			}
+		}
+		e.ctx.Span = bsp.Context()
+		if e.prof != nil {
+			if e.prof.KernelCount() > profEventCap {
+				e.prof.Reset()
+			}
+			e.prof.BeginIteration()
+		}
+	}
+
+	ta := time.Now()
 	preds := e.m.PredictMaskedAt(e.ctx, batch, positions)
+	tf := time.Now()
+	bsp.End()
+	e.ctx.Span = trace.SpanContext{}
 
 	batchesTotal.Inc()
 	batchSizeHist.Observe(float64(B))
 	goodputTokens.Add(int64(real))
 	paddingTokens.Add(int64(B*n - real))
-	modelMS.Observe(1e3 * time.Since(start).Seconds())
+	modelMS.Observe(1e3 * tf.Sub(ta).Seconds())
 
 	for s, p := range reqs {
-		queued := start.Sub(p.enq)
+		queued := td.Sub(p.enq)
 		queueWaitMS.Observe(1e3 * queued.Seconds())
 		out := make([]Prediction, len(p.positions))
 		for i, pos := range p.positions {
 			out[i] = Prediction{Pos: pos, Token: preds[s][i]}
 		}
-		p.done <- result{preds: out, batchSize: B, queued: queued}
+		p.done <- result{preds: out, batchSize: B, queued: queued,
+			seq: seq, td: td, ta: ta, tf: tf}
 	}
 }

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Cross-rank clock alignment. Worker processes stamp spans with their
+// own wall clocks; merging shards into one timeline needs each rank's
+// offset from rank 0. The estimate is the classic NTP exchange: the
+// worker records t1, asks rank 0 for its clock, receives t2 (rank 0's
+// clock) at local time t3, and assumes the reply observed t2 at the
+// midpoint (t1+t3)/2. The sample with the smallest round trip carries
+// the least queuing noise, so EstimateOffset picks it rather than
+// averaging — one clean exchange beats ten congested ones.
+
+// OffsetSample is one ping-pong clock measurement.
+type OffsetSample struct {
+	// RTT is the local round-trip time t3 - t1.
+	RTT time.Duration
+	// Offset is local_clock - rank0_clock for this sample:
+	// (t1+t3)/2 - t2.
+	Offset time.Duration
+}
+
+// NewOffsetSample derives a sample from the three exchange timestamps:
+// t1/t3 on the local clock, t2 on rank 0's.
+func NewOffsetSample(t1, t3 time.Time, t2 time.Time) OffsetSample {
+	rtt := t3.Sub(t1)
+	mid := t1.Add(rtt / 2)
+	return OffsetSample{RTT: rtt, Offset: mid.Sub(t2)}
+}
+
+// EstimateOffset returns the offset of the minimum-RTT sample — the
+// tightest bound available on the true clock difference. Empty input
+// estimates zero.
+func EstimateOffset(samples []OffsetSample) time.Duration {
+	best := -1
+	for i, s := range samples {
+		if best < 0 || s.RTT < samples[best].RTT {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return samples[best].Offset
+}
+
+// Shard is one rank's span log plus its measured clock offset relative
+// to rank 0 (local - rank0; rank 0's own shard carries zero). It is the
+// unit shipped over the distnet control stream at end of training.
+type Shard struct {
+	Rank   int           `json:"rank"`
+	Offset time.Duration `json:"offset_ns"`
+	Spans  []Span        `json:"spans"`
+}
+
+// Merge aligns every shard onto rank 0's clock (subtracting each
+// shard's offset from its spans' start times) and returns the union
+// sorted by aligned start time, ties broken by (rank, name) so the
+// merged file is deterministic.
+func Merge(shards []Shard) []Span {
+	n := 0
+	for _, sh := range shards {
+		n += len(sh.Spans)
+	}
+	out := make([]Span, 0, n)
+	for _, sh := range shards {
+		for _, s := range sh.Spans {
+			s.Rank = sh.Rank
+			s.Start = s.Start.Add(-sh.Offset)
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := out[i], out[j]
+		if !si.Start.Equal(sj.Start) {
+			return si.Start.Before(sj.Start)
+		}
+		if si.Rank != sj.Rank {
+			return si.Rank < sj.Rank
+		}
+		return si.Name < sj.Name
+	})
+	return out
+}

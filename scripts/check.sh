@@ -12,8 +12,8 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (kernels, tensor, obs, profile)"
-go test -race ./internal/kernels/ ./internal/tensor/ ./internal/obs/ ./internal/profile/
+echo "== go test -race (kernels, tensor, obs, profile, trace)"
+go test -race ./internal/kernels/ ./internal/tensor/ ./internal/obs/ ./internal/profile/ ./internal/trace/
 
 echo "== go test -race -short (nn, model, optim, ddp, distnet, audit, serve, runutil — reduced scale)"
 go test -race -short ./internal/nn/ ./internal/model/ ./internal/optim/ ./internal/ddp/ ./internal/distnet/ ./internal/audit/ ./internal/serve/ ./internal/runutil/
@@ -31,8 +31,9 @@ go test -run 'TestF16' -count=1 ./internal/tensor/
 echo "== alloc guard (GEMM + fused epilogue + int8 + bias kernels + ring allreduce + metrics + nil profiler, zero allocs)"
 go test -run 'TestGEMMZeroAllocSteadyState|TestGEMMPackedEpilogueZeroAlloc|TestGEMMInt8ZeroAlloc|TestAddBiasBiasGradZeroAlloc' -count=1 ./internal/kernels/
 go test -run 'TestRingAllReduceZeroAllocSteadyState' -count=1 ./internal/ddp/
-go test -run 'TestMetricsZeroAlloc' -count=1 ./internal/obs/
+go test -run 'TestMetricsZeroAlloc|TestWindowObserveZeroAlloc|TestHistogramObserveExemplarNoTraceZeroAlloc' -count=1 ./internal/obs/
 go test -run 'TestNilProfilerZeroAlloc' -count=1 ./internal/profile/
+go test -run 'TestNilTracerZeroAlloc' -count=1 ./internal/trace/
 
 echo "== debug server smoke (/metrics, /debug/vars, /debug/pprof/)"
 go test -run 'TestDebugServerSmoke' -count=1 ./internal/obs/
@@ -42,6 +43,12 @@ go test -run 'TestServeSmokeAllPaths' -count=1 ./internal/serve/
 
 echo "== serving steady state (zero pack-cache misses after warmup)"
 go test -run 'TestSteadyStateZeroPackMisses' -count=1 ./internal/serve/
+
+echo "== request tracing smoke (X-Trace-Id header, /debug/requests breakdown, stage sums)"
+go test -run 'TestSubmitTraceStagesSumToTotal|TestHTTPTraceHeaderAndDebugRequests|TestClientSuppliedTraceID' -count=1 ./internal/serve/
+
+echo "== cross-rank trace merge (clock sync, shard exchange, straggler report)"
+go test -run 'TestClockSyncWorld2|TestTraceShardExchange|TestMergeAlignsInjectedClockSkew|TestChromeTraceTrackOrdering' -count=1 ./internal/distnet/ ./internal/trace/
 
 echo "== padding-mask audit (fused/unfused parity, exact-zero masked keys, padded vs serial)"
 go test -run 'TestFusedUnfusedMaskSoftmaxParity|TestMaskedKeysExactlyZeroWeight|TestPaddedBatchMatchesSerial' -count=1 ./internal/nn/
@@ -53,6 +60,10 @@ go test -run 'TestSignalDrainsAndExits' -count=1 ./internal/runutil/
 
 echo "== distributed training smoke (2 real processes over loopback TCP, loss falls)"
 go run ./cmd/bertdist -launch 2 -steps 6 -train-b 2 -seq 16 -fixed-data -drop 0 | grep "loss fell"
+
+echo "== distributed trace smoke (2 ranks, merged timeline + straggler table)"
+go run ./cmd/bertdist -launch 2 -steps 3 -train-b 2 -seq 16 -drop 0 -trace -trace-out /tmp/bertdist_trace.json | grep "gating-rank" >/dev/null
+test -s /tmp/bertdist_trace.json && rm -f /tmp/bertdist_trace.json
 
 echo "== distributed shutdown (SIGTERM to launcher drains workers, exit 143)"
 go test -run 'TestLaunchSIGTERMDrains' -count=1 ./cmd/bertdist/
