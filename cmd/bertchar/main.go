@@ -72,6 +72,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	auditRun := fs.Bool("audit", false, "run the cross-path numerics audit and exit (non-zero on divergence)")
 	auditFull := fs.Bool("audit-full", false, "with -audit, run the full mode matrix instead of the reduced sweep")
+	large := fs.Bool("large", false, "execute one honest memory-scaled BERT-Large training iteration for real and report the per-category breakdown")
+	var lf largeFlags
+	fs.IntVar(&lf.layers, "large-layers", 0, "with -large: override the layer count (0 = the full 24; reduced values are the CI smoke)")
+	fs.IntVar(&lf.b, "large-b", 8, "with -large: global batch size, reached via accumulation")
+	fs.IntVar(&lf.accum, "accum", 8, "with -large: accumulation micro-steps (micro-batch = large-b/accum)")
+	fs.IntVar(&lf.seq, "large-seq", 128, "with -large: sequence length (128 = pre-training phase 1)")
+	fs.IntVar(&lf.shards, "shards", 8, "with -large: virtual optimizer-state shards (1 = unsharded)")
+	fs.IntVar(&lf.ckptEvery, "ckpt-every", 6, "with -large: activation-checkpoint segment length in layers")
+	fs.IntVar(&lf.memlimitMB, "memlimit-mb", 5120, "with -large: GOMEMLIMIT in MiB (0 = unlimited)")
+	fs.StringVar(&lf.spillDir, "spill-dir", "", "with -large: directory for the spill arena (default: system temp)")
+	fs.StringVar(&lf.jsonOut, "breakdown-json", "", "with -large: write the measured-vs-modeled breakdown JSON here")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -124,6 +135,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *computeX != 1 || *bwX != 1 {
 		dev = dev.Scale(*computeX, *bwX, 1)
 		fmt.Fprintf(stdout, "device: %s (compute x%.2f, bandwidth x%.2f)\n", dev.Name, *computeX, *bwX)
+	}
+
+	if *large {
+		if err := runLarge(stdout, &lf, dev); err != nil {
+			fmt.Fprintf(stderr, "bertchar: %v\n", err)
+			return 2
+		}
+		return 0
 	}
 
 	if *steps > 0 {

@@ -26,12 +26,15 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"demystbert/internal/dist"
 	"demystbert/internal/distnet"
+	"demystbert/internal/memscale"
 	"demystbert/internal/model"
+	"demystbert/internal/nn"
 	"demystbert/internal/runutil"
 	"demystbert/internal/trace"
 )
@@ -55,6 +58,7 @@ type trainFlags struct {
 	drop                  float64
 	fixedData             bool
 	noOverlap             bool
+	zero1                 bool
 	netTimeout            time.Duration
 
 	trace    bool
@@ -79,6 +83,7 @@ func (tf *trainFlags) register(fs *flag.FlagSet) {
 	fs.Uint64Var(&tf.seed, "seed", 7, "model/data seed (identical across ranks)")
 	fs.Float64Var(&tf.drop, "drop", -1, "dropout override (<0 keeps the config default)")
 	fs.BoolVar(&tf.fixedData, "fixed-data", false, "repeat the first batch every step (convergence smoke)")
+	fs.BoolVar(&tf.zero1, "zero1", false, "shard optimizer state ZeRO-1 style: each rank keeps m/v for its shard only and all-gathers updated weights")
 	fs.DurationVar(&tf.netTimeout, "net-timeout", 30*time.Second, "handshake and per-frame I/O deadline")
 	fs.BoolVar(&tf.trace, "trace", false, "record per-step spans on every rank; rank 0 merges them clock-aligned and reports per-step stragglers")
 	fs.StringVar(&tf.traceOut, "trace-out", "", "with -trace: write the merged multi-rank Perfetto timeline here (rank 0)")
@@ -119,9 +124,92 @@ func (tf *trainFlags) trainConfig() distnet.TrainConfig {
 	}
 }
 
+// atomicCkpt snapshots model weights to disk so that a SIGTERM landing
+// mid-run still leaves a complete, loadable checkpoint: saves go to a
+// temp file in the destination directory and rename into place, and the
+// mutex excludes the trainer's optimizer step (the only writer of
+// parameter values), making every snapshot step-consistent.
+type atomicCkpt struct {
+	mu   sync.Mutex
+	m    *model.BERT
+	path string
+}
+
+func (c *atomicCkpt) attach(m *model.BERT) {
+	c.mu.Lock()
+	c.m = m
+	c.mu.Unlock()
+}
+
+func (c *atomicCkpt) save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil || c.path == "" {
+		return nil
+	}
+	if err := saveParamsAtomic(c.path, c.m); err != nil {
+		return err
+	}
+	c.m = nil // saved cleanly; a later drain has nothing newer to write
+	return nil
+}
+
+// saveParamsAtomic writes the checkpoint via temp-file + rename, so a
+// reader never observes a truncated file: they get the previous complete
+// checkpoint or the new complete one, nothing in between.
+func saveParamsAtomic(path string, m *model.BERT) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := m.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // trainWorker runs one rank to completion.
-func trainWorker(tf *trainFlags, stdout, stderr io.Writer) int {
-	res, m, err := distnet.Train(tf.trainConfig())
+func trainWorker(tf *trainFlags, stdout, stderr io.Writer, sd *runutil.Shutdown) int {
+	cfg := tf.trainConfig()
+	ck := &atomicCkpt{path: tf.paramsOut}
+	cfg.WireTrainer = func(t *distnet.Trainer) error {
+		if tf.zero1 && t.G.World() > 1 {
+			sh, err := memscale.NewSharded(memscale.WrapLAMB(t.Opt), t.M.Params(), t.G.World(), t.G)
+			if err != nil {
+				return err
+			}
+			t.OptStep = sh.Step
+		}
+		// Serialize weight updates against checkpoint snapshots so the
+		// SIGTERM drain never captures a half-applied step.
+		step, opt := t.OptStep, t.Opt
+		t.OptStep = func(ctx *nn.Ctx, params []*nn.Param) error {
+			ck.mu.Lock()
+			defer ck.mu.Unlock()
+			if step != nil {
+				return step(ctx, params)
+			}
+			opt.Step(ctx, params)
+			return nil
+		}
+		ck.attach(t.M)
+		return nil
+	}
+	if tf.paramsOut != "" {
+		sd.Defer("mid-run checkpoint", func() {
+			if err := ck.save(); err != nil {
+				fmt.Fprintf(stderr, "bertdist: checkpoint: %v\n", err)
+			}
+		})
+	}
+	res, _, err := distnet.Train(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "bertdist: rank %d: %v\n", tf.rank, err)
 		return 1
@@ -137,17 +225,7 @@ func trainWorker(tf *trainFlags, stdout, stderr io.Writer) int {
 		}
 	}
 	if tf.paramsOut != "" {
-		f, err := os.Create(tf.paramsOut)
-		if err != nil {
-			fmt.Fprintf(stderr, "bertdist: %v\n", err)
-			return 1
-		}
-		if err := m.Save(f); err != nil {
-			f.Close()
-			fmt.Fprintf(stderr, "bertdist: checkpoint: %v\n", err)
-			return 1
-		}
-		if err := f.Close(); err != nil {
+		if err := ck.save(); err != nil {
 			fmt.Fprintf(stderr, "bertdist: checkpoint: %v\n", err)
 			return 1
 		}
@@ -208,6 +286,9 @@ func forkWorld(tf trainFlags, world int, overlap bool, paramsOutRank0 string, st
 		}
 		if tf.fixedData {
 			args = append(args, "-fixed-data")
+		}
+		if tf.zero1 {
+			args = append(args, "-zero1")
 		}
 		if tf.trace {
 			// Clock sync and the shard exchange are collectives: every rank

@@ -77,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case tf.launch > 0:
 		return launchLocal(&tf, stdout, stderr, sd)
 	case tf.world > 0:
-		return trainWorker(&tf, stdout, stderr)
+		return trainWorker(&tf, stdout, stderr, sd)
 	}
 
 	if *debugAddr != "" {

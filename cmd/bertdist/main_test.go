@@ -271,6 +271,84 @@ func TestLaunchSIGTERMDrains(t *testing.T) {
 	}
 }
 
+// TestWorkerSIGTERMCheckpointLoadable is the kill-mid-run regression: a
+// worker SIGTERMed mid-training must still leave a complete, loadable
+// -params-out checkpoint behind (write-to-temp + rename on the signal
+// drain), never a truncated file.
+func TestWorkerSIGTERMCheckpointLoadable(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := filepath.Join(t.TempDir(), "mid.bin")
+	args := []string{"-rank", "0", "-world", "1", "-steps", "100000",
+		"-train-b", "2", "-seq", "16", "-fixed-data", "-params-out", params}
+	encoded, _ := json.Marshal(args)
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), workerArgsEnv+"="+string(encoded))
+	var errOut strings.Builder
+	cmd.Stderr = &errOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1200 * time.Millisecond) // land mid-run, steps still flowing
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("worker did not exit after SIGTERM")
+	}
+	ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok || ws.ExitStatus() != 143 {
+		t.Fatalf("worker exit status %v, want 143\nstderr:\n%s", cmd.ProcessState, errOut.String())
+	}
+	f, err := os.Open(params)
+	if err != nil {
+		t.Fatalf("checkpoint missing after SIGTERM: %v\nstderr:\n%s", err, errOut.String())
+	}
+	defer f.Close()
+	if _, err := model.Load(f); err != nil {
+		t.Fatalf("mid-run checkpoint not loadable: %v", err)
+	}
+	if leftovers, _ := filepath.Glob(params + ".tmp-*"); len(leftovers) != 0 {
+		t.Fatalf("temp checkpoint files leaked: %v", leftovers)
+	}
+}
+
+// TestLaunchZero1BitwiseMatchesUnsharded: two real processes training
+// with ZeRO-1 optimizer-state sharding must land on exactly the weights
+// of the replicated-optimizer run — the shard split, per-shard LAMB
+// apply, and weight all-gather are bitwise transparent.
+func TestLaunchZero1BitwiseMatchesUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.bin")
+	sharded := filepath.Join(dir, "zero1.bin")
+	if out, code := runCmd(t, "-launch", "2", "-steps", "3", "-train-b", "2", "-seq", "16",
+		"-seed", "7", "-params-out", plain); code != 0 {
+		t.Fatalf("plain launch exit %d\n%s", code, out)
+	}
+	if out, code := runCmd(t, "-launch", "2", "-steps", "3", "-train-b", "2", "-seq", "16",
+		"-seed", "7", "-zero1", "-params-out", sharded); code != 0 {
+		t.Fatalf("zero1 launch exit %d\n%s", code, out)
+	}
+	pb, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := os.ReadFile(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pb) != string(sb) {
+		t.Fatal("zero1 checkpoint differs from unsharded checkpoint (bitwise divergence)")
+	}
+}
+
 func TestBenchDistWritesReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("forks several process groups")

@@ -1,0 +1,25 @@
+package audit
+
+import "testing"
+
+// TestAccumEquivalence pins StepAccum bitwise against the full-batch
+// Step across the GEMM-path × checkpointing matrix.
+func TestAccumEquivalence(t *testing.T) {
+	for _, m := range AccumModes(testing.Short()) {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			for _, d := range CheckAccumEquivalence(m) {
+				t.Error(d)
+			}
+		})
+	}
+}
+
+// TestShardedOptimizerBitwise pins the ZeRO-1 update — virtual shards
+// through the arena and a real world-2 loopback group — bitwise against
+// the unsharded LAMB.
+func TestShardedOptimizerBitwise(t *testing.T) {
+	for _, d := range CheckShardedOptimizer() {
+		t.Error(d)
+	}
+}

@@ -49,5 +49,32 @@ func RunSweep(w io.Writer, quick bool) []Divergence {
 		fmt.Fprintf(w, "  DIVERGENCE %s\n", d)
 	}
 	all = append(all, divs...)
+
+	accumModes := AccumModes(quick)
+	var accumDivs []Divergence
+	for _, m := range accumModes {
+		accumDivs = append(accumDivs, CheckAccumEquivalence(m)...)
+	}
+	status = "ok"
+	if len(accumDivs) > 0 {
+		status = fmt.Sprintf("%d DIVERGENCES", len(accumDivs))
+	}
+	fmt.Fprintf(w, "audit %-14s modes=%-3d StepAccum bitwise vs full batch  %s\n",
+		"bert.accum", len(accumModes), status)
+	for _, d := range accumDivs {
+		fmt.Fprintf(w, "  DIVERGENCE %s\n", d)
+	}
+	all = append(all, accumDivs...)
+
+	shardDivs := CheckShardedOptimizer()
+	status = "ok"
+	if len(shardDivs) > 0 {
+		status = fmt.Sprintf("%d DIVERGENCES", len(shardDivs))
+	}
+	fmt.Fprintf(w, "audit %-14s virtual-shard + world-2 ZeRO-1 bitwise  %s\n", "optim.sharded", status)
+	for _, d := range shardDivs {
+		fmt.Fprintf(w, "  DIVERGENCE %s\n", d)
+	}
+	all = append(all, shardDivs...)
 	return all
 }

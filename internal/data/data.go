@@ -114,6 +114,26 @@ func (g *Generator) Next(b, n int) *Batch {
 	return batch
 }
 
+// Slice returns the contiguous sub-batch of sequences [lo, hi) as views
+// into the receiver's arrays — no copies, so a micro-batch loop over
+// slices touches the exact memory a full-batch step would. Gradient
+// accumulation (model.StepAccum) walks a batch with this.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	if lo < 0 || hi > b.B || lo >= hi {
+		panic(fmt.Sprintf("data: Slice [%d,%d) outside batch of %d", lo, hi, b.B))
+	}
+	n := b.N
+	return &Batch{
+		B:          hi - lo,
+		N:          n,
+		Tokens:     b.Tokens[lo*n : hi*n],
+		Segments:   b.Segments[lo*n : hi*n],
+		MLMTargets: b.MLMTargets[lo*n : hi*n],
+		NSPLabels:  b.NSPLabels[lo:hi],
+		Mask:       tensor.Of(b.Mask.Data()[lo*n:hi*n], hi-lo, n),
+	}
+}
+
 // MaskedCount returns the number of positions scored by the MLM loss.
 func (b *Batch) MaskedCount() int {
 	c := 0

@@ -1,0 +1,113 @@
+package distnet
+
+import "fmt"
+
+// ReduceScatter and AllGather are the two halves of the ring AllReduce,
+// exposed separately with CALLER-SUPPLIED chunk bounds. The ZeRO-1
+// optimizer-state sharding path (internal/memscale) needs bounds aligned
+// to parameter-tensor boundaries — rank r owns the parameters in
+// buf[bounds[r]:bounds[r+1]] — where AllReduce's internal c·n/D bounds
+// would split a tensor between two owners.
+//
+// bounds must have world+1 non-decreasing entries with bounds[0] == 0 and
+// bounds[world] == len(buf), identical on every rank. Both collectives
+// run D-1 ring steps with the same send/receive discipline as AllReduce
+// (concurrent send and receive per step; one collective in flight per
+// Group; errors tear the group down).
+
+// checkBounds validates a caller-supplied chunk partition.
+func (g *Group) checkBounds(buf []float32, bounds []int) error {
+	if len(bounds) != g.world+1 {
+		return fmt.Errorf("distnet: %d bounds for world %d, want %d", len(bounds), g.world, g.world+1)
+	}
+	if bounds[0] != 0 || bounds[g.world] != len(buf) {
+		return fmt.Errorf("distnet: bounds [%d,%d] do not span buffer of %d", bounds[0], bounds[g.world], len(buf))
+	}
+	for c := 0; c < g.world; c++ {
+		if bounds[c] > bounds[c+1] {
+			return fmt.Errorf("distnet: bounds not non-decreasing at %d", c)
+		}
+	}
+	return nil
+}
+
+// ReduceScatter sums buf element-wise across ranks such that on return
+// this rank's own chunk buf[bounds[rank]:bounds[rank+1]] holds the full
+// world-wide sum. Other chunks are left holding partial sums and must be
+// treated as garbage. At world=2 each element of the owned chunk is one
+// float addition — bit-identical to AllReduce's reduced value.
+func (g *Group) ReduceScatter(tag uint32, buf []float32, bounds []int) error {
+	if g.world == 1 {
+		return nil
+	}
+	if err := g.errNow(); err != nil {
+		return err
+	}
+	if err := g.checkBounds(buf, bounds); err != nil {
+		return err
+	}
+	d := g.world
+	chunk := func(c int) []float32 {
+		c = ((c % d) + d) % d
+		return buf[bounds[c]:bounds[c+1]]
+	}
+	// Step s sends the chunk reduced in step s-1 and folds the incoming
+	// partial into the next one down the ring; after D-1 steps the chunk
+	// that has visited every rank — chunk(rank) — rests here.
+	for s := 0; s < d-1; s++ {
+		seq := uint32(s)
+		out := chunk(g.rank - s - 1)
+		in := chunk(g.rank - s - 2)
+		g.sendAsync(tag, seq, out)
+		payload, err := g.prev.readFrame(tag, seq, len(in))
+		if err != nil {
+			return g.collectFail(tag, countTimeout(deadlineReduce, err))
+		}
+		decodeSum(in, payload)
+		if err := <-g.sendErrCh; err != nil {
+			countTimeout(deadlineReduce, err)
+			return g.fail(fmt.Errorf("distnet: reducescatter tag %#x send: %w", tag, err))
+		}
+	}
+	return nil
+}
+
+// AllGather circulates each rank's own chunk — buf[bounds[rank]:
+// bounds[rank+1]] must be filled before the call — so that on return
+// every rank holds every chunk. Received bytes are copied verbatim, so a
+// value computed on its owner rank arrives everywhere bit-identically.
+func (g *Group) AllGather(tag uint32, buf []float32, bounds []int) error {
+	if g.world == 1 {
+		return nil
+	}
+	if err := g.errNow(); err != nil {
+		return err
+	}
+	if err := g.checkBounds(buf, bounds); err != nil {
+		return err
+	}
+	d := g.world
+	chunk := func(c int) []float32 {
+		c = ((c % d) + d) % d
+		return buf[bounds[c]:bounds[c+1]]
+	}
+	// Step s forwards the chunk received in step s-1 (step 0 sends our
+	// own); after D-1 steps chunks rank, rank-1, …, rank-(D-1) have all
+	// arrived — the full set.
+	for s := 0; s < d-1; s++ {
+		seq := uint32(s)
+		out := chunk(g.rank - s)
+		in := chunk(g.rank - s - 1)
+		g.sendAsync(tag, seq, out)
+		payload, err := g.prev.readFrame(tag, seq, len(in))
+		if err != nil {
+			return g.collectFail(tag, countTimeout(deadlineGather, err))
+		}
+		decodeCopy(in, payload)
+		if err := <-g.sendErrCh; err != nil {
+			countTimeout(deadlineGather, err)
+			return g.fail(fmt.Errorf("distnet: allgather tag %#x send: %w", tag, err))
+		}
+	}
+	return nil
+}

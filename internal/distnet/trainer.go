@@ -55,6 +55,14 @@ type TrainConfig struct {
 	// TraceOut, on rank 0 with Trace set, writes the merged multi-rank
 	// Perfetto timeline (rank 0's kernel events ride along) to this path.
 	TraceOut string
+
+	// WireTrainer, when set, runs after the trainer is constructed and
+	// before the first step — the seam callers use to install an OptStep
+	// override (e.g. a ZeRO-1 sharded optimizer from internal/memscale,
+	// which this package cannot import without a cycle). It is a process-
+	// local function, never serialized; every rank must install the same
+	// override or the replicas desynchronize.
+	WireTrainer func(t *Trainer) error
 }
 
 // Result is one rank's training summary, JSON-serializable so worker
@@ -105,6 +113,13 @@ type Trainer struct {
 	// under the deterministic per-step trace id. Set it before the first
 	// Step (Train wires it from TrainConfig.Trace).
 	Tracer *trace.Tracer
+
+	// OptStep, when non-nil, replaces the default t.Opt.Step call with a
+	// custom weight update — the hook a sharded (ZeRO-1) optimizer plugs
+	// into. It runs after the gradient all-reduce, so it sees the same
+	// averaged gradients on every rank, and it may itself issue
+	// collectives (the sharded path all-gathers updated weights).
+	OptStep func(ctx *nn.Ctx, params []*nn.Param) error
 
 	plan    *Plan
 	overlap bool
@@ -289,7 +304,13 @@ func (t *Trainer) Step(b *data.Batch) (float64, stepStats, error) {
 	}
 
 	updStart := time.Now()
-	t.Opt.Step(t.Ctx, t.M.Params())
+	if t.OptStep != nil {
+		if err := t.OptStep(t.Ctx, t.M.Params()); err != nil {
+			return 0, st, err
+		}
+	} else {
+		t.Opt.Step(t.Ctx, t.M.Params())
+	}
 	t.M.ZeroGrads()
 	st.upd = time.Since(updStart)
 
@@ -360,6 +381,11 @@ func Train(cfg TrainConfig) (*Result, *model.BERT, error) {
 		return nil, nil, err
 	}
 	t := NewTrainer(g, m, cfg.Seed, cfg.BucketBytes, cfg.Overlap, lr)
+	if cfg.WireTrainer != nil {
+		if err := cfg.WireTrainer(t); err != nil {
+			return nil, nil, fmt.Errorf("distnet: wiring trainer: %w", err)
+		}
+	}
 
 	res := &Result{
 		Rank: g.Rank(), World: g.World(), Steps: cfg.Steps,

@@ -114,8 +114,10 @@ const biasGradChunk = 64
 // disjoint column ranges (so concurrent writes to dBias never collide),
 // but within a band the matrix is swept row-major, turning the naive
 // kernel's stride-n single-float column walks into contiguous loads. The
-// per-column accumulation order stays i = 0..m-1, so the result is
-// bitwise identical to the serial column-at-a-time kernel.
+// band accumulator is seeded from the existing dBias and the per-column
+// accumulation order stays i = 0..m-1, so the result is bitwise identical
+// to a serial column-at-a-time continuation fold — and splitting the rows
+// across calls (gradient accumulation) matches one call bitwise.
 type biasGradState struct {
 	dBias, dY []float32
 	m, n      int
@@ -126,17 +128,15 @@ func (s *biasGradState) runRange(lo, hi int) {
 	for j0 := lo; j0 < hi; j0 += biasGradChunk {
 		w := min(biasGradChunk, hi-j0)
 		a := acc[:w]
-		clear(a)
+		out := s.dBias[j0 : j0+w]
+		copy(a, out)
 		for i := 0; i < s.m; i++ {
 			row := s.dY[i*s.n+j0 : i*s.n+j0+w]
 			for k, v := range row {
 				a[k] += v
 			}
 		}
-		out := s.dBias[j0 : j0+w]
-		for k := range a {
-			out[k] += a[k]
-		}
+		copy(out, a)
 	}
 }
 

@@ -314,13 +314,18 @@ func (s *packBState) runRange(lo, hi int) {
 // Portable micro-kernel.
 
 // microKernel4x4 computes C[0:4][0:4] += Apanel·Bpanel over kc packed depth
-// steps with 16 independent scalar accumulators. It is the fallback for
-// builds without the SIMD kernel and the cross-check oracle for it.
+// steps with 16 independent scalar accumulators, seeded from C so the fold
+// continues across kernel invocations: splitting the depth range over
+// multiple calls is bitwise-identical to one call over the whole range
+// (the gradient-accumulation equivalence depends on this). It is the
+// fallback for builds without the SIMD kernel and the cross-check oracle
+// for it.
 func microKernel4x4(kc int, a, b, c []float32, ldc int) {
-	var c00, c01, c02, c03 float32
-	var c10, c11, c12, c13 float32
-	var c20, c21, c22, c23 float32
-	var c30, c31, c32, c33 float32
+	r0, r1, r2, r3 := c[0:4], c[ldc:ldc+4], c[2*ldc:2*ldc+4], c[3*ldc:3*ldc+4]
+	c00, c01, c02, c03 := r0[0], r0[1], r0[2], r0[3]
+	c10, c11, c12, c13 := r1[0], r1[1], r1[2], r1[3]
+	c20, c21, c22, c23 := r2[0], r2[1], r2[2], r2[3]
+	c30, c31, c32, c33 := r3[0], r3[1], r3[2], r3[3]
 	a = a[:4*kc]
 	b = b[:4*kc]
 	for len(a) >= 4 {
@@ -345,24 +350,8 @@ func microKernel4x4(kc int, a, b, c []float32, ldc int) {
 		a = a[4:]
 		b = b[4:]
 	}
-	r := c[0:4]
-	r[0] += c00
-	r[1] += c01
-	r[2] += c02
-	r[3] += c03
-	r = c[ldc : ldc+4]
-	r[0] += c10
-	r[1] += c11
-	r[2] += c12
-	r[3] += c13
-	r = c[2*ldc : 2*ldc+4]
-	r[0] += c20
-	r[1] += c21
-	r[2] += c22
-	r[3] += c23
-	r = c[3*ldc : 3*ldc+4]
-	r[0] += c30
-	r[1] += c31
-	r[2] += c32
-	r[3] += c33
+	r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+	r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+	r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
 }

@@ -21,7 +21,12 @@ TEXT ·xgetbv(SB), NOSPLIT, $0-8
 
 // func sgemmKernel6x16(kc int64, a, b, c *float32, ldc int64)
 //
-// C[0:6][0:16] += Apanel·Bpanel over kc packed depth steps.
+// C[0:6][0:16] += Apanel·Bpanel over kc packed depth steps, computed as a
+// continuation fold: the accumulator tile is SEEDED from C before the
+// depth loop and plain-stored afterwards, so splitting the depth range
+// across multiple kernel invocations yields bitwise-identical results to
+// one invocation over the whole range (the gradient-accumulation
+// equivalence in internal/audit depends on this).
 // a: packed 6-row micro-panel, 6 floats per depth step (alpha pre-folded).
 // b: packed 16-column micro-panel, 16 floats per depth step.
 // c: row-major, stride ldc floats.
@@ -37,18 +42,25 @@ TEXT ·sgemmKernel6x16(SB), NOSPLIT, $0-40
 	MOVQ ldc+32(FP), R8
 	SHLQ $2, R8                 // row stride in bytes
 
-	VXORPS Y0, Y0, Y0
-	VXORPS Y1, Y1, Y1
-	VXORPS Y2, Y2, Y2
-	VXORPS Y3, Y3, Y3
-	VXORPS Y4, Y4, Y4
-	VXORPS Y5, Y5, Y5
-	VXORPS Y6, Y6, Y6
-	VXORPS Y7, Y7, Y7
-	VXORPS Y8, Y8, Y8
-	VXORPS Y9, Y9, Y9
-	VXORPS Y10, Y10, Y10
-	VXORPS Y11, Y11, Y11
+	// Seed the accumulator tile from C, row by row.
+	MOVQ    DI, R9
+	VMOVUPS (R9), Y0
+	VMOVUPS 32(R9), Y1
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y2
+	VMOVUPS 32(R9), Y3
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y4
+	VMOVUPS 32(R9), Y5
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y6
+	VMOVUPS 32(R9), Y7
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y8
+	VMOVUPS 32(R9), Y9
+	ADDQ    R8, R9
+	VMOVUPS (R9), Y10
+	VMOVUPS 32(R9), Y11
 
 kloop:
 	VMOVUPS (DX), Y12
@@ -76,46 +88,23 @@ kloop:
 	DECQ CX
 	JNZ  kloop
 
-	// C += accumulator tile, row by row.
-	VMOVUPS (DI), Y12
-	VMOVUPS 32(DI), Y13
-	VADDPS  Y12, Y0, Y0
-	VADDPS  Y13, Y1, Y1
+	// Write the folded tile back to C, row by row (seeded at entry, so
+	// plain stores — no read-add here).
 	VMOVUPS Y0, (DI)
 	VMOVUPS Y1, 32(DI)
 	ADDQ    R8, DI
-	VMOVUPS (DI), Y12
-	VMOVUPS 32(DI), Y13
-	VADDPS  Y12, Y2, Y2
-	VADDPS  Y13, Y3, Y3
 	VMOVUPS Y2, (DI)
 	VMOVUPS Y3, 32(DI)
 	ADDQ    R8, DI
-	VMOVUPS (DI), Y12
-	VMOVUPS 32(DI), Y13
-	VADDPS  Y12, Y4, Y4
-	VADDPS  Y13, Y5, Y5
 	VMOVUPS Y4, (DI)
 	VMOVUPS Y5, 32(DI)
 	ADDQ    R8, DI
-	VMOVUPS (DI), Y12
-	VMOVUPS 32(DI), Y13
-	VADDPS  Y12, Y6, Y6
-	VADDPS  Y13, Y7, Y7
 	VMOVUPS Y6, (DI)
 	VMOVUPS Y7, 32(DI)
 	ADDQ    R8, DI
-	VMOVUPS (DI), Y12
-	VMOVUPS 32(DI), Y13
-	VADDPS  Y12, Y8, Y8
-	VADDPS  Y13, Y9, Y9
 	VMOVUPS Y8, (DI)
 	VMOVUPS Y9, 32(DI)
 	ADDQ    R8, DI
-	VMOVUPS (DI), Y12
-	VMOVUPS 32(DI), Y13
-	VADDPS  Y12, Y10, Y10
-	VADDPS  Y13, Y11, Y11
 	VMOVUPS Y10, (DI)
 	VMOVUPS Y11, 32(DI)
 	VZEROUPPER

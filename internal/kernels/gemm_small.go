@@ -13,11 +13,15 @@ package kernels
 // region: element (r, j) lives at c[r*ldc+j], ap/bp hold mr-row and
 // nr-column micro-panels of ms live rows and ncb live columns (panel i
 // at ap[i*mr*kcb:], panel j at bp[j*nr*kcb:], zero-padded). ir0/jr0 must
-// be multiples of mr/nr. Full tiles go straight to the micro-kernel;
-// edge tiles land in a pooled side buffer first (a plain local array
-// would escape through the indirect kern call and allocate per tile),
-// then only the live region is accumulated — panel padding is zero, so
-// the dead lanes contribute nothing.
+// be multiples of mr/nr. The micro-kernel is a continuation fold (its
+// accumulators seed from C), so the sweep preserves that property: a
+// depth range split across calls folds bitwise-identically to one call.
+// Full tiles go straight to the micro-kernel; edge tiles land in a
+// pooled side buffer first (a plain local array would escape through the
+// indirect kern call and allocate per tile) that is seeded with the live
+// C region and copied back afterwards — panel padding is zero and a
+// zero-seeded fma lane stays exactly zero, so the dead lanes never leak
+// into C.
 func microTileSweep(c []float32, ldc int, ap, bp []float32, kcb, ir0, irEnd, jr0, jrEnd, ms, ncb int) {
 	mr, nr := gemmMR, gemmNR
 	kern := microKernel
@@ -37,12 +41,15 @@ func microTileSweep(c []float32, ldc int, ap, bp []float32, kcb, ir0, irEnd, jr0
 				tmp = microTilePool.Get().(*[microTileMax]float32)
 			}
 			clear(tmp[:mr*nr])
+			for r := 0; r < mw; r++ {
+				copy(tmp[r*nr:r*nr+nw], cc[r*ldc:])
+			}
 			kern(kcb, apanel, bpanel, tmp[:], nr)
 			for r := 0; r < mw; r++ {
 				crow := cc[r*ldc:]
 				trow := tmp[r*nr:]
 				for q := 0; q < nw; q++ {
-					crow[q] += trow[q]
+					crow[q] = trow[q]
 				}
 			}
 		}

@@ -97,18 +97,19 @@ func LayerNormBackward(dX, dGamma, dBeta, dY, x, gamma []float32, mean, invStd [
 		}
 	})
 
-	// dGamma/dBeta: column reductions, parallel over columns.
+	// dGamma/dBeta: column reductions, parallel over columns. The fold is
+	// seeded from the existing gradient so splitting the rows across
+	// multiple calls (gradient accumulation) matches one call bitwise.
 	parallelFor(n, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			var dg, db float32
+			dg, db := dGamma[j], dBeta[j]
 			for r := 0; r < rows; r++ {
 				xhat := (x[r*n+j] - mean[r]) * invStd[r]
 				dy := dY[r*n+j]
 				dg += dy * xhat
 				db += dy
 			}
-			dGamma[j] += dg
-			dBeta[j] += db
+			dGamma[j], dBeta[j] = dg, db
 		}
 	})
 }

@@ -652,8 +652,10 @@ func TestScaleMaskSoftmaxAttentionBadDimsPanics(t *testing.T) {
 
 // refAddBias / refBiasGrad are the serial reference kernels the flattened
 // (AddBias) and column-banded (BiasGrad) implementations must match
-// bitwise: per-element adds are order-free, and BiasGrad's band sweep
-// keeps the per-column accumulation order i = 0..m-1.
+// bitwise: per-element adds are order-free, and BiasGrad is a per-column
+// continuation fold seeded from the existing dBias, accumulating rows in
+// order i = 0..m-1 (so split-row calls compose bitwise — the gradient-
+// accumulation contract).
 func refAddBias(x, bias []float32, m, n int) {
 	for i := 0; i < m; i++ {
 		row := x[i*n : (i+1)*n]
@@ -665,11 +667,11 @@ func refAddBias(x, bias []float32, m, n int) {
 
 func refBiasGrad(dBias, dY []float32, m, n int) {
 	for j := 0; j < n; j++ {
-		var s float32
+		s := dBias[j]
 		for i := 0; i < m; i++ {
 			s += dY[i*n+j]
 		}
-		dBias[j] += s
+		dBias[j] = s
 	}
 }
 

@@ -11,12 +11,25 @@ import (
 // whose target is IgnoreIndex contribute neither loss nor gradient —
 // BERT's masked-LM loss only scores the ~15% masked positions.
 func CrossEntropyForward(probs, logits []float32, targets []int, rows, classes int) float64 {
+	sum, count := CrossEntropySumForward(probs, logits, targets, rows, classes, 0, 0)
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// CrossEntropySumForward is the unnormalized fold underneath
+// CrossEntropyForward: it continues a float64 negative-log-likelihood sum
+// and scored-row count from the given seeds and leaves the mean to the
+// caller. Gradient accumulation threads (sum, count) through the
+// micro-batch calls in row order — the exact float64 addition sequence of
+// one full-batch call — so the accumulated mean is bitwise-identical to
+// the full-batch mean.
+func CrossEntropySumForward(probs, logits []float32, targets []int, rows, classes int, sum float64, count int) (float64, int) {
 	if len(logits) != rows*classes || len(probs) != rows*classes || len(targets) != rows {
 		panic(fmt.Sprintf("kernels: CrossEntropyForward dims rows=%d classes=%d", rows, classes))
 	}
 	Softmax(probs, logits, rows, classes)
-	var loss float64
-	count := 0
 	for r, t := range targets {
 		if t == IgnoreIndex {
 			continue
@@ -28,13 +41,10 @@ func CrossEntropyForward(probs, logits []float32, targets []int, rows, classes i
 		if p < 1e-30 {
 			p = 1e-30
 		}
-		loss -= math.Log(p)
+		sum -= math.Log(p)
 		count++
 	}
-	if count == 0 {
-		return 0
-	}
-	return loss / float64(count)
+	return sum, count
 }
 
 // IgnoreIndex marks a target position that is excluded from the loss.
@@ -44,14 +54,23 @@ const IgnoreIndex = -1
 // cross-entropy loss: dLogits[r,c] = (probs[r,c] - 1{c==target_r}) / count
 // for scored rows and zero for ignored rows.
 func CrossEntropyBackward(dLogits, probs []float32, targets []int, rows, classes int) {
-	if len(dLogits) != rows*classes || len(probs) != rows*classes || len(targets) != rows {
-		panic(fmt.Sprintf("kernels: CrossEntropyBackward dims rows=%d classes=%d", rows, classes))
-	}
 	count := 0
 	for _, t := range targets {
 		if t != IgnoreIndex {
 			count++
 		}
+	}
+	CrossEntropyBackwardCount(dLogits, probs, targets, rows, classes, count)
+}
+
+// CrossEntropyBackwardCount is CrossEntropyBackward with the scored-row
+// count injected by the caller instead of derived from this call's
+// targets. Gradient accumulation passes the FULL batch's count so each
+// micro-batch's logit gradient carries the full-batch 1/count
+// normalization and the summed gradients match a full-batch call bitwise.
+func CrossEntropyBackwardCount(dLogits, probs []float32, targets []int, rows, classes, count int) {
+	if len(dLogits) != rows*classes || len(probs) != rows*classes || len(targets) != rows {
+		panic(fmt.Sprintf("kernels: CrossEntropyBackward dims rows=%d classes=%d", rows, classes))
 	}
 	if count == 0 {
 		clear(dLogits)

@@ -1,0 +1,49 @@
+package memscale
+
+import "fmt"
+
+// ActSpill streams checkpointed activations to the arena, implementing
+// model.CkptSpiller. With √N checkpointing the segment inputs are the
+// only activations retained across the whole forward pass; spilling them
+// means the residual working set streams from disk instead of living in
+// RAM — the last piece that lets a BERT-Large iteration run under a
+// GOMEMLIMIT below its unspilled footprint.
+//
+// Regions are allocated per checkpoint index on first Spill and reused
+// every iteration (sizes are shape-stable across same-shape batches).
+// The interface is panic-on-error because model.Backward has no error
+// path — a failing spill device is fatal to training anyway.
+type ActSpill struct {
+	a       *Arena
+	regions map[int]Region
+}
+
+// NewActSpill wraps an arena for activation spilling.
+func NewActSpill(a *Arena) *ActSpill {
+	return &ActSpill{a: a, regions: make(map[int]Region)}
+}
+
+// Spill stores checkpoint idx. The data length must be stable per index
+// across iterations (it is: checkpoint i is always the [B·N, d_model]
+// input of layer i·k for the run's fixed micro-batch shape).
+func (s *ActSpill) Spill(idx int, data []float32) {
+	r, ok := s.regions[idx]
+	if !ok || r.Elems() != len(data) {
+		r = s.a.Alloc(len(data))
+		s.regions[idx] = r
+	}
+	if err := s.a.Write(r, data); err != nil {
+		panic(fmt.Sprintf("memscale: spilling checkpoint %d: %v", idx, err))
+	}
+}
+
+// Restore reads checkpoint idx back into dst bitwise as spilled.
+func (s *ActSpill) Restore(idx int, dst []float32) {
+	r, ok := s.regions[idx]
+	if !ok {
+		panic(fmt.Sprintf("memscale: restoring checkpoint %d that was never spilled", idx))
+	}
+	if err := s.a.Read(r, dst); err != nil {
+		panic(fmt.Sprintf("memscale: restoring checkpoint %d: %v", idx, err))
+	}
+}

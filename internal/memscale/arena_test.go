@@ -1,0 +1,146 @@
+package memscale
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"demystbert/internal/tensor"
+)
+
+func TestArenaRoundTripBitwise(t *testing.T) {
+	a, err := NewArena(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	r := tensor.NewRNG(3)
+	src := tensor.New(70000) // several encode chunks
+	src.FillUniform(r, -10, 10)
+	src.Data()[0] = float32(math.Inf(1))
+	src.Data()[1] = float32(math.NaN())
+	src.Data()[2] = float32(math.Copysign(0, -1)) // -0 must survive
+
+	reg := a.Alloc(src.Size())
+	if err := a.Write(reg, src.Data()); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, src.Size())
+	if err := a.Read(reg, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range src.Data() {
+		if math.Float32bits(v) != math.Float32bits(dst[i]) {
+			t.Fatalf("elem %d: wrote %x, read %x", i, math.Float32bits(v), math.Float32bits(dst[i]))
+		}
+	}
+
+	written, read, stall := SpillCounters()
+	if written < int64(src.Size())*4 || read < int64(src.Size())*4 {
+		t.Fatalf("counters: written %d read %d, want >= %d", written, read, src.Size()*4)
+	}
+	if stall <= 0 {
+		t.Fatal("stall time not recorded")
+	}
+}
+
+// TestArenaSteadyStateAllocs guards the spill hot path: after the
+// scratch pool is warm, Write/Read roundtrips must not allocate per
+// call — the arena exists to take pressure OFF the heap, and a
+// per-checkpoint allocation would hand it right back to the GC.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	a, err := NewArena(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	buf := make([]float32, 1<<16)
+	reg := a.Alloc(len(buf))
+	// Warm the encode/decode scratch pool.
+	for i := 0; i < 3; i++ {
+		if err := a.Write(reg, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Read(reg, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := a.Write(reg, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Read(reg, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("arena roundtrip allocates %.0f objects per call in steady state, want <=1", allocs)
+	}
+}
+
+func TestArenaRejectsSizeMismatch(t *testing.T) {
+	a, err := NewArena(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	reg := a.Alloc(8)
+	if err := a.Write(reg, make([]float32, 7)); err == nil {
+		t.Fatal("short write accepted")
+	}
+	if err := a.Read(reg, make([]float32, 9)); err == nil {
+		t.Fatal("long read accepted")
+	}
+}
+
+// TestArenaConcurrentRegions is the spill-arena race leg: many goroutines
+// hammer disjoint regions through the shared scratch pool. Run under
+// -race this pins that Write/Read/Alloc need no external locking.
+func TestArenaConcurrentRegions(t *testing.T) {
+	a, err := NewArena(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	const workers, elems, rounds = 8, 5000, 20
+	regs := make([]Region, workers)
+	for w := range regs {
+		regs[w] = a.Alloc(elems)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]float32, elems)
+			back := make([]float32, elems)
+			for round := 0; round < rounds; round++ {
+				for i := range buf {
+					buf[i] = float32(w*1000 + round*10 + i%10)
+				}
+				if errs[w] = a.Write(regs[w], buf); errs[w] != nil {
+					return
+				}
+				if errs[w] = a.Read(regs[w], back); errs[w] != nil {
+					return
+				}
+				for i := range back {
+					if back[i] != buf[i] {
+						t.Errorf("worker %d round %d elem %d: %v != %v", w, round, i, back[i], buf[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}

@@ -11,6 +11,17 @@ import (
 	"demystbert/internal/tensor"
 )
 
+// CkptSpiller stores checkpointed activations outside the heap. Spill is
+// called during Forward with checkpoint index idx and the activation
+// values; Restore must fill dst with exactly the bytes Spill received for
+// that index. Implementations may assume per-index lengths are stable
+// across iterations and must be bitwise-faithful — the recompute pass
+// depends on replaying identical inputs.
+type CkptSpiller interface {
+	Spill(idx int, data []float32)
+	Restore(idx int, dst []float32)
+}
+
 // BERT is the full pre-training network: embedding, N encoder layers, the
 // masked-LM head (dense + GeLU + LN + vocabulary decoder) and the NSP head
 // (CLS pooler + tanh + binary classifier).
@@ -34,6 +45,14 @@ type BERT struct {
 	// recipe uses k = 6 (√N ≈ 4 checkpoints over 24 layers).
 	CheckpointEvery int
 
+	// CkptSpill, when non-nil alongside CheckpointEvery, streams the
+	// checkpointed segment inputs to external storage instead of keeping
+	// them on the heap (internal/memscale's arena): Forward spills each
+	// checkpoint as it is taken, Backward restores one at a time into a
+	// single reused buffer. Spilled bytes round-trip bitwise, so results
+	// are unchanged; peak activation memory drops to one segment's.
+	CkptSpill CkptSpiller
+
 	// GradHook, when non-nil, is invoked during Backward as parameter
 	// gradients become final, with an index into GradGroups(): once after
 	// the output heads' backward, once after each encoder layer's
@@ -50,7 +69,26 @@ type BERT struct {
 	nspProbs   *tensor.Tensor
 	pooledTanh *tensor.Tensor
 	ckptInputs []*tensor.Tensor
+	spillBuf   *tensor.Tensor // reused restore target when CkptSpill is set
 	res        nn.Residual
+
+	// Gradient-accumulation state for an in-flight StepAccum.
+	accum accumState
+}
+
+// accumState threads the loss fold and normalization counts across the
+// micro-batches of one StepAccum iteration. The cross-entropy sums
+// continue the exact float64 fold a full-batch step would run, and the
+// backward normalizes by the FULL batch's scored-row totals, so summed
+// micro-batch gradients and the final loss are bitwise-identical to one
+// full-batch step.
+type accumState struct {
+	active bool
+	last   bool // current micro-batch is the final one: fire GradHook
+
+	mlmSum, nspSum     float64
+	mlmSeen, nspSeen   int
+	mlmTotal, nspTotal int // full-batch scored-row counts
 }
 
 // New constructs a BERT model with deterministic initialization.
@@ -105,7 +143,19 @@ func (m *BERT) Forward(ctx *nn.Ctx, b *data.Batch) float64 {
 	}
 	for i, layer := range m.Layers {
 		if m.CheckpointEvery > 0 && i%m.CheckpointEvery == 0 {
-			m.ckptInputs = append(m.ckptInputs, h)
+			if m.CkptSpill != nil {
+				// Stream the checkpoint out; a nil placeholder keeps the
+				// segment indexing intact. The tensor itself stays live
+				// only until the next layer consumes it.
+				idx := len(m.ckptInputs)
+				ctx.Prof.Time("spill_ckpt_write", profile.CatOther, profile.Forward,
+					0, int64(h.Size())*4, func() {
+						m.CkptSpill.Spill(idx, h.Data())
+					})
+				m.ckptInputs = append(m.ckptInputs, nil)
+			} else {
+				m.ckptInputs = append(m.ckptInputs, h)
+			}
 		}
 		h = layer.Forward(ctx, h, b.B, b.N, b.Mask)
 	}
@@ -130,7 +180,13 @@ func (m *BERT) headsForward(ctx *nn.Ctx, seq *tensor.Tensor) float64 {
 	nl := b.B * b.N * cfg.Vocab
 	ctx.Prof.Time("mlm_xent_fwd", profile.CatOutput, profile.Forward,
 		kernels.EWFLOPs(nl, 4), kernels.EWBytes(nl, 1, 1, ctx.ElemSize()), func() {
-			mlmLoss = kernels.CrossEntropyForward(m.mlmProbs.Data(), logits.Data(), b.MLMTargets, b.B*b.N, cfg.Vocab)
+			if m.accum.active {
+				m.accum.mlmSum, m.accum.mlmSeen = kernels.CrossEntropySumForward(
+					m.mlmProbs.Data(), logits.Data(), b.MLMTargets, b.B*b.N, cfg.Vocab,
+					m.accum.mlmSum, m.accum.mlmSeen)
+			} else {
+				mlmLoss = kernels.CrossEntropyForward(m.mlmProbs.Data(), logits.Data(), b.MLMTargets, b.B*b.N, cfg.Vocab)
+			}
 		})
 
 	// NSP head over the CLS token of each sequence.
@@ -156,7 +212,13 @@ func (m *BERT) headsForward(ctx *nn.Ctx, seq *tensor.Tensor) float64 {
 	var nspLoss float64
 	ctx.Prof.Time("nsp_xent_fwd", profile.CatOutput, profile.Forward,
 		kernels.EWFLOPs(b.B*2, 4), kernels.EWBytes(b.B*2, 1, 1, ctx.ElemSize()), func() {
-			nspLoss = kernels.CrossEntropyForward(m.nspProbs.Data(), nspLogits.Data(), b.NSPLabels, b.B, 2)
+			if m.accum.active {
+				m.accum.nspSum, m.accum.nspSeen = kernels.CrossEntropySumForward(
+					m.nspProbs.Data(), nspLogits.Data(), b.NSPLabels, b.B, 2,
+					m.accum.nspSum, m.accum.nspSeen)
+			} else {
+				nspLoss = kernels.CrossEntropyForward(m.nspProbs.Data(), nspLogits.Data(), b.NSPLabels, b.B, 2)
+			}
 		})
 
 	return mlmLoss + nspLoss
@@ -177,7 +239,13 @@ func (m *BERT) Backward(ctx *nn.Ctx) {
 	nl := b.B * b.N * cfg.Vocab
 	ctx.Prof.Time("mlm_xent_bwd", profile.CatOutput, profile.Backward,
 		kernels.EWFLOPs(nl, 2), kernels.EWBytes(nl, 1, 1, es), func() {
-			kernels.CrossEntropyBackward(dLogits.Data(), m.mlmProbs.Data(), b.MLMTargets, b.B*b.N, cfg.Vocab)
+			if m.accum.active {
+				// Normalize by the FULL batch's scored-row count so the
+				// summed micro-batch gradients match one full-batch step.
+				kernels.CrossEntropyBackwardCount(dLogits.Data(), m.mlmProbs.Data(), b.MLMTargets, b.B*b.N, cfg.Vocab, m.accum.mlmTotal)
+			} else {
+				kernels.CrossEntropyBackward(dLogits.Data(), m.mlmProbs.Data(), b.MLMTargets, b.B*b.N, cfg.Vocab)
+			}
 			if s := ctx.EffectiveLossScale(); s != 1 {
 				kernels.Scale(dLogits.Data(), dLogits.Data(), s)
 			}
@@ -191,7 +259,11 @@ func (m *BERT) Backward(ctx *nn.Ctx) {
 	dNSPLogits := tensor.New(b.B, 2)
 	ctx.Prof.Time("nsp_xent_bwd", profile.CatOutput, profile.Backward,
 		kernels.EWFLOPs(b.B*2, 2), kernels.EWBytes(b.B*2, 1, 1, es), func() {
-			kernels.CrossEntropyBackward(dNSPLogits.Data(), m.nspProbs.Data(), b.NSPLabels, b.B, 2)
+			if m.accum.active {
+				kernels.CrossEntropyBackwardCount(dNSPLogits.Data(), m.nspProbs.Data(), b.NSPLabels, b.B, 2, m.accum.nspTotal)
+			} else {
+				kernels.CrossEntropyBackward(dNSPLogits.Data(), m.nspProbs.Data(), b.NSPLabels, b.B, 2)
+			}
 			if s := ctx.EffectiveLossScale(); s != 1 {
 				kernels.Scale(dNSPLogits.Data(), dNSPLogits.Data(), s)
 			}
@@ -229,10 +301,21 @@ func (m *BERT) Backward(ctx *nn.Ctx) {
 			m.fireGrad(1 + (len(m.Layers) - 1 - i))
 		}
 		m.Embed.Backward(ctx, dSeq)
-		m.fireGrad(1 + len(m.Layers))
+		m.finishEmbedGrads(ctx)
 	}
 
 	m.batch, m.seqOut, m.mlmProbs, m.nspProbs, m.pooledTanh = nil, nil, nil, nil, nil
+}
+
+// finishEmbedGrads merges the token-table scatter accumulator into the
+// tied embedding/decoder gradient once the iteration's gradients are
+// complete, then fires the embedding gradient group. Under accumulation
+// both happen only on the final micro-batch.
+func (m *BERT) finishEmbedGrads(ctx *nn.Ctx) {
+	if !m.accum.active || m.accum.last {
+		m.Embed.FlushTokScatter(ctx)
+	}
+	m.fireGrad(1 + len(m.Layers))
 }
 
 // backwardWithCheckpoints re-executes each checkpoint segment's forward
@@ -255,6 +338,19 @@ func (m *BERT) backwardWithCheckpoints(ctx *nn.Ctx, dSeq *tensor.Tensor) {
 		if seg != nSeg-1 {
 			ctx.Recompute = true
 			h := m.ckptInputs[seg]
+			if h == nil {
+				// Spilled checkpoint: restore into one reused buffer — only
+				// a single segment input is ever resident during backward.
+				rows := b.B * b.N
+				if m.spillBuf == nil || m.spillBuf.Dim(0) != rows || m.spillBuf.Dim(1) != m.Config.DModel {
+					m.spillBuf = tensor.New(rows, m.Config.DModel)
+				}
+				h = m.spillBuf
+				ctx.Prof.Time("spill_ckpt_read", profile.CatOther, profile.Backward,
+					0, int64(h.Size())*4, func() {
+						m.CkptSpill.Restore(seg, h.Data())
+					})
+			}
 			for i := first; i <= last; i++ {
 				h = m.Layers[i].Forward(ctx, h, b.B, b.N, b.Mask)
 			}
@@ -266,12 +362,14 @@ func (m *BERT) backwardWithCheckpoints(ctx *nn.Ctx, dSeq *tensor.Tensor) {
 		}
 	}
 	m.Embed.Backward(ctx, dSeq)
-	m.fireGrad(1 + len(m.Layers))
+	m.finishEmbedGrads(ctx)
 	m.ckptInputs = m.ckptInputs[:0]
 }
 
 func (m *BERT) fireGrad(group int) {
-	if m.GradHook != nil {
+	// Under gradient accumulation a group's gradients are final only once
+	// the LAST micro-batch has backpropagated through it.
+	if m.GradHook != nil && (!m.accum.active || m.accum.last) {
 		m.GradHook(group)
 	}
 }
@@ -324,6 +422,54 @@ func (m *BERT) Step(ctx *nn.Ctx, b *data.Batch) float64 {
 	return loss
 }
 
+// StepAccum runs one logical training iteration of batch b as accumSteps
+// sequential micro-batches of B/accumSteps sequences each, summing
+// parameter gradients across the micro-batches; the caller applies the
+// optimizer once afterwards, exactly as after Step. With dropout disabled
+// (DropProb 0 — dropout consumes no RNG then) and a forced GEMM path, the
+// accumulated gradients and the returned loss are BITWISE-identical to
+// m.Step(ctx, b): every cross-token reduction in the engine is a
+// destination-seeded fold in token order, so splitting the token range
+// over micro-batches reassociates nothing (pinned in internal/audit).
+// Under GEMMPathAuto the size-based routing may pick different engines
+// for micro vs full shapes, which is still valid training but not
+// bitwise. GradHook fires only during the last micro-batch, when
+// gradients are final.
+func (m *BERT) StepAccum(ctx *nn.Ctx, b *data.Batch, accumSteps int) float64 {
+	if accumSteps <= 1 {
+		return m.Step(ctx, b)
+	}
+	if b.B%accumSteps != 0 {
+		panic(fmt.Sprintf("model: StepAccum batch B=%d not divisible into %d micro-steps", b.B, accumSteps))
+	}
+	micro := b.B / accumSteps
+	m.accum = accumState{
+		active:   true,
+		mlmTotal: b.MaskedCount(),
+		nspTotal: b.B,
+	}
+	ctx.Prof.BeginIteration()
+	for s := 0; s < accumSteps; s++ {
+		m.accum.last = s == accumSteps-1
+		mb := b.Slice(s*micro, (s+1)*micro)
+		sp := ctx.StartSpan("fwd")
+		m.Forward(ctx, mb)
+		sp.End()
+		sp = ctx.StartSpan("bwd")
+		m.Backward(ctx)
+		sp.End()
+	}
+	var loss float64
+	if m.accum.mlmTotal > 0 {
+		loss += m.accum.mlmSum / float64(m.accum.mlmTotal)
+	}
+	if m.accum.nspTotal > 0 {
+		loss += m.accum.nspSum / float64(m.accum.nspTotal)
+	}
+	m.accum = accumState{}
+	return loss
+}
+
 // Params returns every trainable parameter of the model exactly once
 // (the tied MLM decoder weight appears only under the embedding).
 func (m *BERT) Params() []*nn.Param {
@@ -357,11 +503,13 @@ func (m *BERT) NumParams() int {
 	return total
 }
 
-// ZeroGrads clears all parameter gradients.
+// ZeroGrads clears all parameter gradients, including any pending
+// token-scatter accumulation from an abandoned half-iteration.
 func (m *BERT) ZeroGrads() {
 	for _, p := range m.Params() {
 		p.ZeroGrad()
 	}
+	m.Embed.DropTokScatter()
 }
 
 func tanh32(x float32) float32 {

@@ -102,6 +102,7 @@ func (f *FineTuner) Backward(ctx *nn.Ctx) {
 		dSeq = f.Base.Layers[i].Backward(ctx, dSeq)
 	}
 	f.Base.Embed.Backward(ctx, dSeq)
+	f.Base.Embed.FlushTokScatter(ctx)
 	f.batch, f.startProbs, f.endProbs = nil, nil, nil
 }
 

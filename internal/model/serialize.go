@@ -58,43 +58,70 @@ func Load(r io.Reader) (*BERT, error) {
 	if err != nil {
 		return nil, fmt.Errorf("model: checkpoint config invalid: %w", err)
 	}
+	if err := m.readParams(br); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadParams restores a checkpoint written by Save into the receiver —
+// the resume path for a model that has already trained. The checkpoint's
+// configuration must equal the model's. Every parameter's pack-cache
+// generation is bumped, so pre-packed GEMM panels built from the
+// pre-restore weights are invalidated and the next step repacks from the
+// restored values instead of silently reusing stale weights.
+func (m *BERT) LoadParams(r io.Reader) error {
+	br := bufio.NewReader(r)
+	cfg, err := readHeader(br)
+	if err != nil {
+		return err
+	}
+	if cfg != m.Config {
+		return fmt.Errorf("model: checkpoint config %+v does not match model config %+v", cfg, m.Config)
+	}
+	return m.readParams(br)
+}
+
+// readParams reads the parameter stream of a checkpoint into the model's
+// existing tensors, verifying names and shapes in Params() order.
+func (m *BERT) readParams(br *bufio.Reader) error {
 	for _, p := range m.Params() {
 		name, err := readString(br)
 		if err != nil {
-			return nil, fmt.Errorf("model: reading parameter name: %w", err)
+			return fmt.Errorf("model: reading parameter name: %w", err)
 		}
 		if name != p.Name {
-			return nil, fmt.Errorf("model: checkpoint parameter %q, want %q (order mismatch)", name, p.Name)
+			return fmt.Errorf("model: checkpoint parameter %q, want %q (order mismatch)", name, p.Name)
 		}
 		var rank int32
 		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
-			return nil, err
+			return err
 		}
 		if int(rank) != p.Value.Rank() {
-			return nil, fmt.Errorf("model: %s rank %d, want %d", name, rank, p.Value.Rank())
+			return fmt.Errorf("model: %s rank %d, want %d", name, rank, p.Value.Rank())
 		}
 		for i := 0; i < int(rank); i++ {
 			var d int32
 			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-				return nil, err
+				return err
 			}
 			if int(d) != p.Value.Dim(i) {
-				return nil, fmt.Errorf("model: %s dim %d is %d, want %d", name, i, d, p.Value.Dim(i))
+				return fmt.Errorf("model: %s dim %d is %d, want %d", name, i, d, p.Value.Dim(i))
 			}
 		}
 		data := p.Value.Data()
 		for i := range data {
 			var bits uint32
 			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return nil, fmt.Errorf("model: reading %s data: %w", name, err)
+				return fmt.Errorf("model: reading %s data: %w", name, err)
 			}
 			data[i] = math.Float32frombits(bits)
 		}
-		// The model is freshly built so no GEMM pack can exist yet, but
-		// bump anyway in case Load ever restores into a used model.
+		// Invalidate any packed-weight panels built from the pre-restore
+		// values — a resumed run must repack from the loaded weights.
 		p.BumpGen()
 	}
-	return m, nil
+	return nil
 }
 
 func writeHeader(w io.Writer, cfg Config) error {

@@ -2,11 +2,14 @@ package model
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
 	"demystbert/internal/data"
+	"demystbert/internal/kernels"
 	"demystbert/internal/nn"
+	"demystbert/internal/optim"
 )
 
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -60,6 +63,90 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	evalB.Train = false
 	if la, lb := m.Forward(evalA, b), loaded.Forward(evalB, b); la != lb {
 		t.Fatalf("loaded model loss %v differs from original %v", lb, la)
+	}
+}
+
+// TestLoadParamsResumeMatchesContinuousRun is the resume-parity
+// regression for the restore-into-existing-model path: a model that has
+// trained past a checkpoint (leaving warm GEMM pack caches built from the
+// newer weights) and then restores the checkpoint with LoadParams must
+// step bitwise-identically to a run that never left the checkpoint. This
+// fails if LoadParams forgets to bump the pack-cache generation — the
+// packed GEMM path would silently keep multiplying by pre-restore panels.
+func TestLoadParamsResumeMatchesContinuousRun(t *testing.T) {
+	cfg := Tiny()
+	cfg.DropProb = 0
+	const seed = 7
+	gen := data.NewGenerator(cfg.Vocab, 0.15, 1)
+	batch1, batch2 := gen.Next(2, 16), gen.Next(2, 16)
+
+	// Pack caches only matter on the packed path.
+	old := kernels.SetGEMMPath(kernels.GEMMPathPacked)
+	defer kernels.SetGEMMPath(old)
+
+	step := func(m *BERT, opt *optim.LAMB, b *data.Batch) float64 {
+		ctx := nn.NewCtx(9)
+		loss := m.Step(ctx, b)
+		if opt != nil {
+			opt.Step(ctx, m.Params())
+			m.ZeroGrads()
+		}
+		return loss
+	}
+
+	// Continuous run: step, checkpoint, step again (grads kept).
+	cont, err := New(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optC := optim.NewLAMB(0.01)
+	step(cont, optC, batch1)
+	var ckpt bytes.Buffer
+	if err := cont.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	lossCont := step(cont, nil, batch2)
+
+	// Resumed run: same first step, then train PAST the checkpoint so the
+	// weights move and the pack caches rebuild from the newer values, then
+	// restore and replay.
+	res, err := New(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optR := optim.NewLAMB(0.01)
+	step(res, optR, batch1)
+	step(res, optR, batch2) // divergence: stale weights + warm stale packs
+	if err := res.LoadParams(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	lossRes := step(res, nil, batch2)
+
+	if math.Float64bits(lossCont) != math.Float64bits(lossRes) {
+		t.Fatalf("resumed loss %v != continuous loss %v", lossRes, lossCont)
+	}
+	cp, rp := cont.Params(), res.Params()
+	for i := range cp {
+		cg, rg := cp[i].Grad.Data(), rp[i].Grad.Data()
+		for j := range cg {
+			if math.Float32bits(cg[j]) != math.Float32bits(rg[j]) {
+				t.Fatalf("grad %s[%d]: resumed %v != continuous %v", cp[i].Name, j, rg[j], cg[j])
+			}
+		}
+	}
+}
+
+func TestLoadParamsRejectsConfigMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	m, _ := New(Tiny(), 1)
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := Tiny()
+	other.NumLayers++
+	m2, _ := New(other, 1)
+	if err := m2.LoadParams(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("LoadParams must reject a checkpoint with a different config")
 	}
 }
 

@@ -26,6 +26,15 @@ type Embedding struct {
 
 	vocab, maxPos, dModel int
 
+	// tokScatter accumulates the backward scatter into the token table.
+	// Tok.Grad has a second contributor — the tied MLM decoder's weight
+	// gradient GEMM — and the two fold in a fixed order only if they use
+	// separate accumulators merged once per iteration (FlushTokScatter).
+	// That separation is what makes gradient accumulation bitwise-equal to
+	// a full-batch step: each accumulator is a token-order continuation
+	// fold across micro-batches, and the merge happens exactly once.
+	tokScatter *tensor.Tensor
+
 	// Saved for backward.
 	tokens   []int
 	segments []int
@@ -94,7 +103,10 @@ func (e *Embedding) Forward(ctx *Ctx, tokens, segments []int, b, n int) *tensor.
 	return e.Drop.Forward(ctx, h)
 }
 
-// Backward scatters gradients into the three embedding tables.
+// Backward scatters gradients into the three embedding tables. The token
+// scatter lands in the side accumulator; the caller must FlushTokScatter
+// once per iteration (after the final Backward of an accumulation run)
+// before reading or reducing Tok.Grad.
 func (e *Embedding) Backward(ctx *Ctx, dY *tensor.Tensor) {
 	if e.tokens == nil {
 		panic("nn: Embedding.Backward called before Forward")
@@ -102,6 +114,9 @@ func (e *Embedding) Backward(ctx *Ctx, dY *tensor.Tensor) {
 	dH := e.Drop.Backward(ctx, dY)
 	dSum := e.LN.Backward(ctx, dH)
 
+	if e.tokScatter == nil {
+		e.tokScatter = tensor.New(e.vocab, e.dModel)
+	}
 	total := dSum.Size()
 	es := ctx.ElemSize()
 	ctx.Prof.Time("embedding_scatter", profile.CatEmbedding, profile.Backward,
@@ -109,7 +124,7 @@ func (e *Embedding) Backward(ctx *Ctx, dY *tensor.Tensor) {
 			d := dSum.Data()
 			for t := range e.tokens {
 				row := d[t*e.dModel : (t+1)*e.dModel]
-				tok := e.Tok.Grad.Row(e.tokens[t])
+				tok := e.tokScatter.Row(e.tokens[t])
 				pv := e.Pos.Grad.Row(t % e.seqLen)
 				sv := e.Seg.Grad.Row(e.segments[t])
 				for j, g := range row {
@@ -120,6 +135,32 @@ func (e *Embedding) Backward(ctx *Ctx, dY *tensor.Tensor) {
 			}
 		})
 	e.tokens, e.segments = nil, nil
+}
+
+// FlushTokScatter folds the accumulated token-table scatter into
+// Tok.Grad (on top of the tied decoder's GEMM contribution) and clears
+// the accumulator. Call exactly once per logical iteration, after the
+// last Backward.
+func (e *Embedding) FlushTokScatter(ctx *Ctx) {
+	if e.tokScatter == nil {
+		return
+	}
+	total := e.tokScatter.Size()
+	es := ctx.ElemSize()
+	ctx.Prof.Time("embedding_scatter_flush", profile.CatEmbedding, profile.Backward,
+		kernels.EWFLOPs(total, 1), kernels.EWBytes(total, 2, 1, es), func() {
+			kernels.AccumulateInto(e.Tok.Grad.Data(), e.tokScatter.Data())
+		})
+	clear(e.tokScatter.Data())
+}
+
+// DropTokScatter discards any pending token-scatter accumulation — the
+// ZeroGrads counterpart, so an abandoned half-iteration cannot leak into
+// the next one.
+func (e *Embedding) DropTokScatter() {
+	if e.tokScatter != nil {
+		clear(e.tokScatter.Data())
+	}
 }
 
 // Params returns the embedding tables and LayerNorm parameters.

@@ -391,6 +391,7 @@ func TestEmbeddingGradCheck(t *testing.T) {
 	y := e.Forward(ctx, tok, seg, b, n)
 	_ = y
 	e.Backward(ctx, dY)
+	e.FlushTokScatter(ctx)
 
 	forward := func() float64 {
 		return dotLoss(e.Forward(evalCtx(), tok, seg, b, n), dY)

@@ -94,6 +94,49 @@ func Footprint(w Workload) MemoryFootprint {
 	return f
 }
 
+// MemScale describes the memory-scaling techniques internal/memscale
+// applies to run a large model on a small machine: gradient accumulation
+// (forward/backward at a micro-batch, optimizer once per global batch),
+// virtual optimizer-state sharding (one shard of m/v resident at a
+// time), and activation spill (checkpoint tensors live in a disk arena
+// instead of the heap).
+type MemScale struct {
+	// MicroB is the micro-batch the forward/backward actually executes;
+	// 0 keeps the workload's full B (no accumulation).
+	MicroB int
+	// Shards is the virtual optimizer-state shard count; values <= 1
+	// keep all optimizer state resident.
+	Shards int
+	// SpillCkpts moves the checkpoint activations (the √N-spaced layer
+	// inputs) out of the resident set. Only meaningful with
+	// CheckpointEvery > 0.
+	SpillCkpts bool
+}
+
+// ScaledFootprint models the *resident* memory demand of a
+// memory-scaled iteration — the number a measured peak RSS should be
+// compared against. Accumulation shrinks activations to the micro-batch
+// (gradients stay full-size: they accumulate across micro-batches),
+// sharding divides the optimizer state, and spill subtracts the
+// checkpoint tensors that now live on disk.
+func ScaledFootprint(w Workload, s MemScale) MemoryFootprint {
+	if s.MicroB > 0 {
+		w.B = s.MicroB
+	}
+	f := Footprint(w)
+	if s.Shards > 1 {
+		k := int64(s.Shards)
+		f.OptimizerState = (f.OptimizerState + k - 1) / k
+	}
+	if s.SpillCkpts && w.CheckpointEvery > 0 {
+		layers := int64(w.Cfg.NumLayers)
+		segments := (layers + int64(w.CheckpointEvery) - 1) / int64(w.CheckpointEvery)
+		ckptTensor := int64(w.Tokens()) * int64(w.Cfg.DModel) * int64(w.Precision.ElemSize())
+		f.Activations -= segments * ckptTensor
+	}
+	return f
+}
+
 // MaxBatchSize returns the largest mini-batch (in the workload's other
 // parameters) whose footprint fits in capacity bytes, or 0 if none does.
 func MaxBatchSize(w Workload, capacity int64) int {

@@ -89,6 +89,46 @@ func TestFootprintLinearInBatch(t *testing.T) {
 	}
 }
 
+func TestScaledFootprintShrinksResidentSet(t *testing.T) {
+	cfg := model.BERTLarge()
+	w := Phase1(cfg, 8, FP32)
+	w.CheckpointEvery = 6
+	full := Footprint(w)
+	scaled := ScaledFootprint(w, MemScale{MicroB: 1, Shards: 8, SpillCkpts: true})
+
+	params := int64(cfg.ParamCount())
+	// Weights and gradients stay fully resident (grads accumulate
+	// across micro-batches); optimizer state shrinks to one shard.
+	if scaled.Weights != full.Weights || scaled.Gradients != full.Gradients {
+		t.Fatal("weights/gradients must stay full-size under memory scaling")
+	}
+	if want := (2*params*4 + 7) / 8; scaled.OptimizerState != want {
+		t.Fatalf("sharded optimizer state %d, want %d", scaled.OptimizerState, want)
+	}
+	// Activations shrink to the micro-batch, minus the spilled checkpoints.
+	wMicro := w
+	wMicro.B = 1
+	micro := Footprint(wMicro)
+	if scaled.Activations >= micro.Activations {
+		t.Fatalf("spill must shrink activations below the micro-batch footprint: %d vs %d",
+			scaled.Activations, micro.Activations)
+	}
+	if scaled.Activations <= 0 {
+		t.Fatal("live segment must remain resident")
+	}
+	if scaled.Total() >= full.Total() {
+		t.Fatal("memory scaling must reduce the resident total")
+	}
+}
+
+func TestScaledFootprintIdentityWhenDisabled(t *testing.T) {
+	w := Phase1(model.BERTLarge(), 8, FP32)
+	w.CheckpointEvery = 6
+	if ScaledFootprint(w, MemScale{}) != Footprint(w) {
+		t.Fatal("zero-value MemScale must be the plain footprint")
+	}
+}
+
 func TestMaxBatchSizeZeroWhenTooSmall(t *testing.T) {
 	if got := MaxBatchSize(Phase1(model.BERTLarge(), 1, FP32), 1<<20); got != 0 {
 		t.Fatalf("1 MiB device fits batch %d?", got)

@@ -54,7 +54,13 @@ func NewAdam(lr float32, fused bool) *Adam {
 	}
 }
 
-func (o *Adam) state(p *nn.Param) (m, v *tensor.Tensor) {
+// StepCount returns the number of updates applied so far.
+func (o *Adam) StepCount() int { return o.step }
+
+// State returns the momentum and velocity tensors for p, allocating them
+// on first use. Both kernel organizations share this state, so switching
+// between fused and unfused mid-run cannot fork the moments.
+func (o *Adam) State(p *nn.Param) (m, v *tensor.Tensor) {
 	if o.m[p] == nil {
 		o.m[p] = tensor.New(p.Value.Shape()...)
 		o.v[p] = tensor.New(p.Value.Shape()...)
@@ -62,15 +68,50 @@ func (o *Adam) state(p *nn.Param) (m, v *tensor.Tensor) {
 	return o.m[p], o.v[p]
 }
 
+// ReleaseState drops p's optimizer state from the resident maps (see
+// LAMB.ReleaseState — the virtual-shard spill path).
+func (o *Adam) ReleaseState(p *nn.Param) {
+	delete(o.m, p)
+	delete(o.v, p)
+}
+
+// AdamStep is one iteration's update context: the bias-correction terms,
+// fixed once per PrepareStep. As with LAMBStep, Apply may be called once
+// with all parameters or once per shard; the step count — and therefore
+// bc1/bc2 — advances exactly once per iteration regardless, and is shared
+// between the fused and unfused kernel organizations. This is what keeps
+// bias correction in sync when gradient accumulation or a loss-scale skip
+// makes iterations and optimizer calls no longer one-to-one: a skipped
+// step simply never calls PrepareStep, and no partial application can
+// advance the count twice.
+type AdamStep struct {
+	o        *Adam
+	bc1, bc2 float32
+}
+
+// PrepareStep advances the step count once and fixes this iteration's
+// bias-correction terms.
+func (o *Adam) PrepareStep() *AdamStep {
+	o.step++
+	return &AdamStep{
+		o:   o,
+		bc1: 1 - float32(math.Pow(float64(o.Beta1), float64(o.step))),
+		bc2: 1 - float32(math.Pow(float64(o.Beta2), float64(o.step))),
+	}
+}
+
 // Step applies one Adam update to every parameter.
 func (o *Adam) Step(ctx *nn.Ctx, params []*nn.Param) {
-	o.step++
-	bc1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.step)))
-	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.step)))
-	if o.Fused {
-		o.stepFused(ctx, params, bc1, bc2)
+	o.PrepareStep().Apply(ctx, params)
+}
+
+// Apply updates params — any subset of the trainable set — using this
+// iteration's fixed bias correction.
+func (s *AdamStep) Apply(ctx *nn.Ctx, params []*nn.Param) {
+	if s.o.Fused {
+		s.o.stepFused(ctx, params, s.bc1, s.bc2)
 	} else {
-		o.stepUnfused(ctx, params, bc1, bc2)
+		s.o.stepUnfused(ctx, params, s.bc1, s.bc2)
 	}
 }
 
@@ -90,7 +131,7 @@ func (o *Adam) stepFused(ctx *nn.Ctx, params []*nn.Param, bc1, bc2 float32) {
 		ctx.Prof.Time("adam_fused_multitensor", profile.CatOptimizer, profile.Update,
 			totalFLOPs(group, 11), totalBytes(group, 4, 3), func() {
 				for _, p := range group {
-					m, v := o.state(p)
+					m, v := o.State(p)
 					md, vd, gd, wd := m.Data(), v.Data(), p.Grad.Data(), p.Value.Data()
 					for i := range gd {
 						g := gd[i]
@@ -109,7 +150,7 @@ func (o *Adam) stepFused(ctx *nn.Ctx, params []*nn.Param, bc1, bc2 float32) {
 // eager framework executes an optimizer written as tensor expressions.
 func (o *Adam) stepUnfused(ctx *nn.Ctx, params []*nn.Param, bc1, bc2 float32) {
 	for _, p := range params {
-		m, v := o.state(p)
+		m, v := o.State(p)
 		n := p.Size()
 		tmp := make([]float32, n)
 		tmp2 := make([]float32, n)

@@ -66,8 +66,35 @@ func (o *LAMB) State(p *nn.Param) (m, v *tensor.Tensor) {
 	return o.m[p], o.v[p]
 }
 
-// Step applies one LAMB update to every parameter.
-func (o *LAMB) Step(ctx *nn.Ctx, params []*nn.Param) {
+// ReleaseState drops p's optimizer state (m, v, and the update scratch)
+// from the resident maps. The virtual-shard memory-scaling path spills
+// state to disk between shards and releases it so only one shard's state
+// stays resident; the next State call re-allocates fresh zeroed tensors
+// for the caller to restore into.
+func (o *LAMB) ReleaseState(p *nn.Param) {
+	delete(o.m, p)
+	delete(o.v, p)
+	delete(o.updates, p)
+}
+
+// LAMBStep is one iteration's update context: the bias-correction terms
+// and the global gradient clip scale, fixed once per PrepareStep. Apply
+// may then be called once with every parameter (the plain path) or once
+// per shard (the ZeRO-1 sharded and virtual-shard paths) — the step count
+// advances exactly once either way, so bias correction cannot desync no
+// matter how many shards the update is split across.
+type LAMBStep struct {
+	o         *LAMB
+	gradScale float32
+	bc1, bc2  float32
+}
+
+// PrepareStep advances the step count once and computes the global
+// gradient-norm clip scale. params must be ALL trainable parameters in
+// canonical order — LAMB's clip norm is global, so every rank and every
+// shard must derive the identical scale even when Apply later touches
+// only a subset.
+func (o *LAMB) PrepareStep(ctx *nn.Ctx, params []*nn.Param) *LAMBStep {
 	o.step++
 
 	// Global gradient norm: LAMB normalizes all layers' gradients before
@@ -85,8 +112,25 @@ func (o *LAMB) Step(ctx *nn.Ctx, params []*nn.Param) {
 			}
 		})
 
-	bc1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.step)))
-	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.step)))
+	return &LAMBStep{
+		o:         o,
+		gradScale: gradScale,
+		bc1:       1 - float32(math.Pow(float64(o.Beta1), float64(o.step))),
+		bc2:       1 - float32(math.Pow(float64(o.Beta2), float64(o.step))),
+	}
+}
+
+// Step applies one LAMB update to every parameter.
+func (o *LAMB) Step(ctx *nn.Ctx, params []*nn.Param) {
+	o.PrepareStep(ctx, params).Apply(ctx, params)
+}
+
+// Apply runs both LAMB stages over params, which may be any subset of the
+// parameters PrepareStep saw. Per-tensor arithmetic is independent across
+// tensors, so splitting one iteration's Apply across shards is bitwise
+// identical to a single whole-model Apply.
+func (s *LAMBStep) Apply(ctx *nn.Ctx, params []*nn.Param) {
+	o, gradScale, bc1, bc2 := s.o, s.gradScale, s.bc1, s.bc2
 
 	// Stage 1 per tensor: update m and v, produce the adaptive direction.
 	// Reads g, m, v, w (4× model size); writes m, v, update.

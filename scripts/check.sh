@@ -15,8 +15,11 @@ go build ./...
 echo "== go test -race (kernels, tensor, obs, profile, trace)"
 go test -race ./internal/kernels/ ./internal/tensor/ ./internal/obs/ ./internal/profile/ ./internal/trace/
 
-echo "== go test -race -short (nn, model, optim, ddp, distnet, audit, serve, runutil — reduced scale)"
-go test -race -short ./internal/nn/ ./internal/model/ ./internal/optim/ ./internal/ddp/ ./internal/distnet/ ./internal/audit/ ./internal/serve/ ./internal/runutil/
+echo "== go test -race -short (nn, model, optim, ddp, distnet, memscale, audit, serve, runutil — reduced scale)"
+go test -race -short ./internal/nn/ ./internal/model/ ./internal/optim/ ./internal/ddp/ ./internal/distnet/ ./internal/memscale/ ./internal/audit/ ./internal/serve/ ./internal/runutil/
+
+echo "== spill-arena race leg (concurrent regions through the shared scratch pool)"
+go test -race -run 'TestArenaConcurrentRegions' -count=1 ./internal/memscale/
 
 echo "== go test ./..."
 go test ./...
@@ -34,6 +37,10 @@ go test -run 'TestRingAllReduceZeroAllocSteadyState' -count=1 ./internal/ddp/
 go test -run 'TestMetricsZeroAlloc|TestWindowObserveZeroAlloc|TestHistogramObserveExemplarNoTraceZeroAlloc' -count=1 ./internal/obs/
 go test -run 'TestNilProfilerZeroAlloc' -count=1 ./internal/profile/
 go test -run 'TestNilTracerZeroAlloc' -count=1 ./internal/trace/
+
+echo "== alloc guard (accumulation hot loop: zero-copy batch slicing, steady-state spill arena)"
+go test -run 'TestAccumHotLoopAllocs' -count=1 ./internal/model/
+go test -run 'TestArenaSteadyStateAllocs' -count=1 ./internal/memscale/
 
 echo "== debug server smoke (/metrics, /debug/vars, /debug/pprof/)"
 go test -run 'TestDebugServerSmoke' -count=1 ./internal/obs/
@@ -68,8 +75,15 @@ test -s /tmp/bertdist_trace.json && rm -f /tmp/bertdist_trace.json
 echo "== distributed shutdown (SIGTERM to launcher drains workers, exit 143)"
 go test -run 'TestLaunchSIGTERMDrains' -count=1 ./cmd/bertdist/
 
-echo "== cross-process bitwise parity (world=2 TCP training == in-process ddp)"
+echo "== kill-mid-run checkpoint (SIGTERM mid-step leaves a loadable params file, no temp litter)"
+go test -run 'TestWorkerSIGTERMCheckpointLoadable' -count=1 ./cmd/bertdist/
+
+echo "== cross-process bitwise parity (world=2 TCP training == in-process ddp; ZeRO-1 == unsharded)"
 go test -run 'TestLaunchBitwiseMatchesInProcessDDP' -count=1 ./cmd/bertdist/
+go test -run 'TestLaunchZero1BitwiseMatchesUnsharded' -count=1 ./cmd/bertdist/
+
+echo "== memory-scaled BERT-Large smoke (reduced layers; accumulation + virtual shards + spill under GOMEMLIMIT)"
+go run ./cmd/bertchar -large -large-layers 2 -large-b 2 -accum 2 -large-seq 32 -shards 2 -ckpt-every 1 -memlimit-mb 768 >/dev/null
 
 echo "== bench smoke (GEMM paper shapes + fused FFN tail + int8, 1 iteration)"
 go test -run 'xxx' -bench 'Fig6GEMMIntensity|GEMMPaperSizes|GEMMInt8PaperSizes|RealFFN' -benchtime 1x -benchmem . >/dev/null
